@@ -1,0 +1,103 @@
+"""Bench: adaptive two-rate sampling vs always-fast polling.
+
+An extension of the paper's framework (Sec 4.1/5.1 discuss the
+rate-vs-cost limit): the adaptive sampler must capture burst interiors
+at the fast interval while polling far less than an always-fast loop on
+a mostly-idle link.
+"""
+
+import numpy as np
+
+from repro.core import HighResSampler, SamplerConfig
+from repro.core.adaptive import AdaptiveConfig, AdaptiveSampler
+from repro.core.counters import bind_tx_bytes
+from repro.netsim import (
+    RackConfig,
+    Simulator,
+    SwitchCounterSurface,
+    TorSwitchConfig,
+    build_rack,
+)
+from repro.units import ms, us
+from repro.workloads import WebConfig, WebWorkload
+
+
+def _web_rack(seed):
+    sim = Simulator(seed=seed)
+    rack = build_rack(
+        sim,
+        RackConfig(
+            name="t",
+            switch=TorSwitchConfig(n_downlinks=8, n_uplinks=4),
+            n_remote_hosts=24,
+        ),
+    )
+    WebWorkload(rack, WebConfig(request_rate_per_s=50, fanout=12), rng=seed).install()
+    sim.run_for(ms(20))
+    return sim, SwitchCounterSurface(rack.tor)
+
+
+def test_adaptive_vs_always_fast(benchmark, capsys):
+    def run():
+        sim, surface = _web_rack(seed=5)
+        adaptive = AdaptiveSampler(
+            AdaptiveConfig(fast_interval_ns=us(25), slow_interval_ns=us(250)),
+            [bind_tx_bytes(surface, "down0")],
+            rng=2,
+        )
+        report, stats = adaptive.run_in_sim(sim, ms(120))
+
+        sim2, surface2 = _web_rack(seed=5)
+        fast = HighResSampler(
+            SamplerConfig(interval_ns=us(25)), [bind_tx_bytes(surface2, "down0")], rng=2
+        )
+        fast_report = fast.run_in_sim(sim2, ms(120))
+        return report, stats, fast_report
+
+    report, stats, fast_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    adaptive_trace = report.traces["down0.tx_bytes"]
+    fast_trace = fast_report.traces["down0.tx_bytes"]
+    duty = stats.duty_cycle(AdaptiveConfig())
+    # both see the same total bytes (no data loss, only resolution)
+    adaptive_bytes = int(adaptive_trace.values[-1] - adaptive_trace.values[0])
+    fast_bytes = int(fast_trace.values[-1] - fast_trace.values[0])
+    with capsys.disabled():
+        print("\nadaptive sampling vs always-fast (web downlink, 120 ms)")
+        print(f"  polls: adaptive={stats.total_polls} "
+              f"(fast={stats.fast_polls}, slow={stats.slow_polls}, "
+              f"escalations={stats.escalations}) vs always-fast={len(fast_trace)}")
+        print(f"  duty cycle vs always-fast: {duty:.2f}")
+        print(f"  bytes observed: adaptive={adaptive_bytes} fast={fast_bytes}")
+    assert stats.total_polls < len(fast_trace) * 0.7
+    assert duty < 0.7
+    # byte conservation: missing samples lose resolution, not volume
+    assert abs(adaptive_bytes - fast_bytes) / max(fast_bytes, 1) < 0.05
+    # bursts did occur and were escalated to the fast rate
+    assert stats.escalations > 0
+
+
+def test_burstiness_metrics_by_app(benchmark, capsys):
+    """IDC and Hurst separate the application classes."""
+    from repro.analysis.burstiness import hurst_aggregate_variance, idc_curve
+    from repro.synth import APP_PROFILES, OnOffGenerator
+
+    def run():
+        out = {}
+        for app in ("web", "cache", "hadoop"):
+            series = OnOffGenerator(APP_PROFILES[app].downlink).generate(
+                800_000, np.random.default_rng(3)
+            ).utilization
+            out[app] = (
+                idc_curve(series, factors=(1, 16, 64)),
+                hurst_aggregate_variance(series),
+            )
+        return out
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nburstiness metrics (downlink utilization, 20 s)")
+        for app, (curve, hurst) in metrics.items():
+            print(f"  {app:>7}: IDC@1={curve[1]:.3f} IDC@64={curve[64]:.3f} H={hurst:.2f}")
+    for app, (curve, hurst) in metrics.items():
+        assert curve[64] > curve[1]  # correlated across scales
+        assert hurst > 0.55  # long-range dependent, like real DC traffic

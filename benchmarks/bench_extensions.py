@@ -1,0 +1,52 @@
+"""Benches for the Sec 7 / Sec 6.1 extension experiments."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_ext_congestion_control(benchmark, show):
+    kwargs = scaled(dict(n_windows=12, window_s=2.0), dict(n_windows=120, window_s=10.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext-cc", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # a large share of µbursts end before one RTT of signal delay
+    assert rows["web: bursts over before 1 RTT (100us) elapses"] > 0.8
+    assert rows["cache: bursts over before 1 RTT (100us) elapses"] > 0.6
+    reno_drops, dctcp_drops = map(
+        int, str(rows["incast drops: reno -> dctcp"]).split(" -> ")
+    )
+    assert dctcp_drops <= reno_drops
+
+
+def test_ext_load_balancing(benchmark, show):
+    kwargs = scaled(dict(n_windows=12, window_s=2.0), dict(n_windows=120, window_s=10.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext-lb", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    for app in ("web", "cache", "hadoop"):
+        assert rows[f"{app}: gaps exceeding 50us e2e latency"] > 0.4
+
+
+def test_ext_pacing(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext-pacing", seed=0), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    unpaced, paced = str(rows["bursts: unpaced -> paced"]).split(" -> ")
+    assert int(paced) < int(unpaced) // 10
+
+
+def test_ext_failure_asymmetry(benchmark, show):
+    kwargs = scaled(dict(duration_s=5.0), dict(duration_s=30.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext-failures", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    assert rows["imbalance ordering holds"] is True

@@ -1,0 +1,20 @@
+"""Fig 1 bench: drop rate vs utilization scatter (SNMP granularity)."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_drops_vs_utilization(benchmark, show):
+    kwargs = scaled(
+        dict(n_links=2_000, samples_per_link=24),
+        dict(n_links=20_000, samples_per_link=24),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig1", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    corr = rows["utilization/drop correlation"]
+    # paper: r = 0.098 — drops nearly uncorrelated with average load
+    assert 0.0 < corr < 0.3

@@ -1,0 +1,30 @@
+"""Fig 10 bench: peak buffer occupancy vs simultaneously hot ports."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_buffer_occupancy(benchmark, show):
+    kwargs = scaled(
+        dict(duration_s=20.0, n_activity_windows=16),
+        dict(duration_s=120.0, n_activity_windows=48),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # hadoop stresses buffers most: standing occupancy + steepest growth
+    assert (
+        rows["hadoop: occupancy at fewest hot ports (median)"]
+        > rows["web: occupancy at fewest hot ports (median)"]
+    )
+    assert rows["hadoop occupancy scales most drastically with hot ports"] is True
+    # hadoop drives the largest fraction of ports hot simultaneously
+    assert (
+        rows["hadoop: max fraction of ports simultaneously hot"]
+        >= rows["cache: max fraction of ports simultaneously hot"]
+        > rows["web: max fraction of ports simultaneously hot"]
+    )
+    assert rows["hadoop: max fraction of ports simultaneously hot"] >= 0.7

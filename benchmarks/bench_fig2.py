@@ -1,0 +1,17 @@
+"""Fig 2 bench: 1-minute drop time series on low/high-utilization ports."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig2_drop_timeseries(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2", seed=0, hours=12), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # drops arrive in sub-minute episodes on both ports
+    assert rows["low-util: minutes with zero drops"] > 0.5
+    assert rows["high-util: minutes with zero drops"] > 0.3
+    assert rows["low-util: median drop-episode span (minutes)"] <= 2.0
+    # the high-utilization port drops more often, but both are episodic
+    assert rows["high/low drop-minute ratio"] > 1.0

@@ -1,0 +1,27 @@
+"""Fig 3 bench: CDF of microburst durations at 25 us."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_burst_durations(benchmark, show):
+    kwargs = scaled(
+        dict(n_windows=24, window_s=2.0),
+        dict(n_windows=240, window_s=10.0),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # paper: p90 <= 200 us for all apps; Web lowest at 50 us
+    assert rows["web: p90 burst duration (us)"] <= 75
+    assert rows["cache: p90 burst duration (us)"] <= 300
+    assert rows["hadoop: p90 burst duration (us)"] <= 300
+    # paper: >60 % of Web/Cache bursts end within one period
+    assert rows["web: single-period bursts"] >= 0.60
+    assert rows["cache: single-period bursts"] >= 0.55
+    # abstract: >70 % of bursts sustained at most tens of us; all µbursts
+    for app in ("web", "cache", "hadoop"):
+        assert rows[f"{app}: microburst (<1ms) share"] >= 0.95

@@ -1,0 +1,26 @@
+"""Fig 4 bench: CDF of inter-burst periods + Poisson rejection."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_interburst_periods(benchmark, show):
+    kwargs = scaled(
+        dict(n_windows=24, window_s=2.0),
+        dict(n_windows=240, window_s=10.0),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # paper: ~40 % of Web/Cache gaps under 100 us
+    assert 0.25 <= rows["web: gaps < 100us"] <= 0.55
+    assert 0.25 <= rows["cache: gaps < 100us"] <= 0.60
+    # gap tails orders of magnitude above burst durations (ms scale p99)
+    assert rows["web: p99 gap (ms)"] > 5.0
+    # KS test rejects Poisson arrivals for every app
+    for app in ("web", "cache", "hadoop"):
+        p_value = float(str(rows[f"{app}: KS p-value vs exponential"]).split()[0])
+        assert p_value < 0.01

@@ -1,0 +1,26 @@
+"""Fig 5 bench: packet sizes inside vs outside bursts."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_packet_sizes(benchmark, show):
+    kwargs = scaled(dict(duration_s=20.0), dict(duration_s=120.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+
+    def increase(app):
+        return float(str(rows[f"{app}: relative large-packet increase"]).strip("%+")) / 100
+
+    # paper: web ~+60 %, cache ~+20 %, hadoop small (already all-MTU)
+    assert 0.35 <= increase("web") <= 1.0
+    assert 0.05 <= increase("cache") <= 0.40
+    assert -0.05 <= increase("hadoop") <= 0.15
+    assert rows["hadoop: MTU-bin share (always large)"] >= 0.80
+    assert rows["cache: small packets still dominate inside bursts"] >= 0.50
+    # ordering of the size shift matches the paper
+    assert increase("web") > increase("cache") > increase("hadoop")

@@ -1,0 +1,29 @@
+"""Fig 6 bench: CDF of link utilization at 25 us."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_utilization_cdf(benchmark, show):
+    kwargs = scaled(
+        dict(n_windows=24, window_s=2.0),
+        dict(n_windows=240, window_s=10.0),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # hadoop hottest (paper ~15 %, Table 2 implies ~11 %), then cache, then web
+    assert 0.06 <= rows["hadoop: time hot (>50%)"] <= 0.20
+    assert (
+        rows["hadoop: time hot (>50%)"]
+        > rows["cache: time hot (>50%)"]
+        > rows["web: time hot (>50%)"]
+    )
+    # paper: ~10 % of hadoop periods near line rate
+    assert 0.04 <= rows["hadoop: periods near 100% utilization"] <= 0.15
+    # long-tailed: medians well below the hot threshold for all apps
+    for app in ("web", "cache", "hadoop"):
+        assert rows[f"{app}: median utilization"] < 0.5

@@ -1,0 +1,32 @@
+"""Fig 7 bench: MAD of uplink utilization, 40 us vs 1 s, both directions."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_load_balance(benchmark, show):
+    kwargs = scaled(dict(duration_s=10.0), dict(duration_s=60.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # paper: median MAD over 25 % at 40 us for all three rack types
+    for app in ("web", "cache", "hadoop"):
+        assert rows[f"{app} egress: median MAD @40us"] > 0.25
+    # hadoop least balanced, p90 ~100 %
+    assert 0.8 <= rows["hadoop egress: p90 MAD @40us"] <= 1.6
+    assert (
+        rows["hadoop egress: median MAD @40us"]
+        > rows["cache egress: median MAD @40us"]
+        > rows["web egress: median MAD @40us"]
+    )
+    # balanced at 1 s
+    for app in ("web", "cache", "hadoop"):
+        assert rows[f"{app} egress: median MAD @1s"] < 0.25
+    # ingress dispersion close to egress (fabric adds little variance)
+    for app in ("web", "cache", "hadoop"):
+        egress = rows[f"{app} egress: median MAD @40us"]
+        ingress = rows[f"{app} ingress vs egress median MAD @40us"]
+        assert abs(ingress - egress) / egress < 0.35

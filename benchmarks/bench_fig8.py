@@ -1,0 +1,21 @@
+"""Fig 8 bench: server-pair Pearson correlation heatmaps at 250 us."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_server_correlation(benchmark, show):
+    kwargs = scaled(dict(duration_s=10.0), dict(duration_s=60.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # web: almost no correlation (stateless, user-driven)
+    assert abs(rows["web: mean pairwise correlation"]) < 0.10
+    # cache: very strong correlation within scatter-gather subsets
+    assert rows["cache: within-group correlation"] > 0.50
+    assert abs(rows["cache: across-group correlation"]) < 0.15
+    # hadoop: modest correlation
+    assert 0.05 < rows["hadoop: mean pairwise correlation"] < 0.45

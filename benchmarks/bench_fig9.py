@@ -1,0 +1,19 @@
+"""Fig 9 bench: uplink/downlink share of hot ports at 300 us."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_directionality(benchmark, show):
+    kwargs = scaled(dict(duration_s=10.0), dict(duration_s=60.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # paper: hadoop 18 % uplink share; web even lower; cache majority-uplink
+    assert rows["web: uplink share of hot samples"] < 0.10
+    assert 0.08 <= rows["hadoop: uplink share of hot samples"] <= 0.30
+    assert rows["cache: uplink share of hot samples"] > 0.45
+    assert rows["web share < hadoop share < cache share ordering"] is True

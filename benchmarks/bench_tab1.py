@@ -1,0 +1,18 @@
+"""Table 1 bench: sampling interval vs missed intervals."""
+
+from conftest import scaled
+
+from repro.experiments import run_experiment
+
+
+def test_tab1_sampling_loss(benchmark, show):
+    kwargs = scaled(dict(duration_s=2.0), dict(duration_s=10.0))
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab1", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # paper: 1 us -> 100 %, 10 us -> ~10 %, 25 us -> ~1 %
+    assert rows["miss rate @ 1 us"] >= 0.99
+    assert 0.05 <= rows["miss rate @ 10 us"] <= 0.18
+    assert 0.003 <= rows["miss rate @ 25 us"] <= 0.03

@@ -1,0 +1,32 @@
+"""Table 2 bench: burst Markov transition matrices + likelihood ratios."""
+
+from conftest import scaled
+
+from repro.data import PAPER
+from repro.experiments import run_experiment
+
+
+def test_tab2_markov_model(benchmark, show):
+    kwargs = scaled(
+        dict(n_windows=48, window_s=2.0),
+        dict(n_windows=240, window_s=10.0),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab2", seed=0, **kwargs), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {metric: measured for metric, _p, measured in result.rows}
+    # p11 within a few points of Table 2 for every app
+    for app in ("web", "cache", "hadoop"):
+        paper = PAPER.table2[app]
+        assert abs(rows[f"{app}: p(1|1)"] - paper.p11) < 0.08
+        # likelihood ratio within ~2x and far above 1
+        measured_r = rows[f"{app}: likelihood ratio r"]
+        assert measured_r > 5
+        assert 0.4 < measured_r / paper.likelihood_ratio < 2.5
+    # ordering r_web > r_cache > r_hadoop (Eqs 1-3)
+    assert (
+        rows["web: likelihood ratio r"]
+        > rows["cache: likelihood ratio r"]
+        > rows["hadoop: likelihood ratio r"]
+    )

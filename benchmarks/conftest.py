@@ -1,0 +1,35 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one table/figure of the paper on the
+simulated substrate, prints the paper-vs-measured rows, and asserts the
+qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs default to a few seconds per experiment; set
+``REPRO_BENCH_SCALE=full`` for campaign-scale runs (minutes each).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "small") == "full"
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment result outside pytest's capture."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+            print()
+
+    return _show
+
+
+def scaled(small: dict, full: dict) -> dict:
+    """Pick experiment kwargs by scale."""
+    return full if FULL else small

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""DCTCP vs loss-based congestion control under sustained incast.
+
+Sec 7's congestion-control implication, measured: 16 senders converge on
+one server through a small shared buffer.  Whatever the transport, the
+initial window overshoot fills the buffer before any signal returns —
+µbursts outrun the control loop.  After feedback starts flowing, ECN
+marking plus DCTCP's proportional window law holds the queue near the
+marking threshold, while loss-based control saws between full buffer and
+timeout.
+
+Run:  python examples/dctcp_incast.py
+"""
+
+from repro import HighResSampler, SamplerConfig, Simulator, build_rack
+from repro.core.counters import bind_peak_buffer
+from repro.netsim import BufferPolicy, EcnConfig, RackConfig, SwitchCounterSurface, TorSwitchConfig
+from repro.units import ms, us
+
+
+def run_incast(transport: str):
+    sim = Simulator(seed=9)
+    rack = build_rack(
+        sim,
+        RackConfig(
+            name=transport,
+            switch=TorSwitchConfig(
+                n_downlinks=4,
+                n_uplinks=2,
+                buffer=BufferPolicy(capacity_bytes=200_000, alpha=1.0),
+                ecn=EcnConfig(mark_threshold_bytes=30_000),
+            ),
+            n_remote_hosts=16,
+            transport=transport,
+            rto_ns=ms(2),
+        ),
+    )
+    for remote in rack.remote_hosts:
+        remote.send_flow(rack.servers[0].name, 2_000_000)
+
+    surface = SwitchCounterSurface(rack.tor)
+    sampler = HighResSampler(
+        SamplerConfig(interval_ns=us(50)), [bind_peak_buffer(surface)], rng=1
+    )
+    report = sampler.run_in_sim(sim, ms(100))
+    peaks = report.traces["shared_buffer.peak"].gauge_values()
+    drops = rack.tor.total_drops()
+    marker = rack.tor.downlink_ports[0].ecn
+    return peaks, drops, marker
+
+
+def main() -> None:
+    for transport in ("reno", "dctcp"):
+        peaks, drops, marker = run_incast(transport)
+        warm = len(peaks) // 5  # skip the identical slow-start overshoot
+        steady = peaks[warm:]
+        print(f"=== {transport} ===")
+        print(f"  total drops           : {drops}")
+        print(f"  steady-state queue    : mean {int(steady[steady > 0].mean()):,} B "
+              f"(marking threshold 30,000 B)")
+        print(f"  peak occupancy        : {int(peaks.max()):,} B of 200,000 B")
+        print(f"  packets CE-marked     : {marker.packets_marked} / {marker.packets_seen}")
+        print()
+    print("DCTCP converges to a short standing queue; loss-based control")
+    print("rides the buffer ceiling. Neither prevents the first-RTT burst —")
+    print("the paper's point that µbursts are faster than any feedback loop.")
+
+
+if __name__ == "__main__":
+    main()

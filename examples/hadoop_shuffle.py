@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Hadoop rack: shuffle traffic, ECMP imbalance, and buffer pressure.
+
+Runs the Hadoop workload (on/off shuffle phases of long full-MTU
+transfers) and reports three of the paper's Hadoop findings:
+
+* Fig 5/Sec 5.3 — the packet-size histogram is almost entirely full-MTU;
+* Fig 7 — a handful of long flows leave the four uplinks badly unbalanced
+  at small timescales;
+* Fig 10/Sec 6.4 — the shared buffer carries standing occupancy and high
+  peaks while many ports are simultaneously hot.
+
+Run:  python examples/hadoop_shuffle.py
+"""
+
+import numpy as np
+
+from repro import HighResSampler, SamplerConfig, Simulator, build_rack
+from repro.core.counters import bind_peak_buffer, bind_tx_size_hist
+from repro.netsim import BufferPolicy, RackConfig, SwitchCounterSurface, TorSwitchConfig
+from repro.netsim.port import SIZE_BIN_LABELS
+from repro.units import ms, us
+from repro.workloads import HadoopConfig, HadoopWorkload
+from repro.workloads.distributions import ParetoSizes
+
+
+def main() -> None:
+    sim = Simulator(seed=23)
+    rack = build_rack(
+        sim,
+        RackConfig(
+            name="hadoop",
+            switch=TorSwitchConfig(
+                n_downlinks=8,
+                n_uplinks=4,
+                # a small shared buffer makes the Fig 10 pressure visible
+                # in a 150 ms run
+                buffer=BufferPolicy(capacity_bytes=250_000, alpha=2.0),
+            ),
+            n_remote_hosts=24,
+        ),
+    )
+    workload = HadoopWorkload(
+        rack,
+        HadoopConfig(
+            transfer_rate_per_s=70,
+            mean_on_s=0.06,
+            median_off_s=0.05,
+            transfer_size=ParetoSizes(min_bytes=500_000, alpha=1.8, max_bytes=8_000_000),
+        ),
+        rng=9,
+    )
+    workload.install()
+    sim.run_for(ms(20))
+
+    surface = SwitchCounterSurface(rack.tor)
+    sampler = HighResSampler(
+        SamplerConfig(interval_ns=us(50)),
+        [bind_tx_size_hist(surface, "up0"), bind_peak_buffer(surface)],
+        rng=4,
+    )
+    report = sampler.run_in_sim(sim, ms(150))
+
+    print("=== packet sizes on up0 (Sec 5.3: hadoop data is full-MTU) ===")
+    hist = np.asarray(report.traces["up0.tx_size_hist"].values[-1], dtype=float)
+    total = hist.sum() or 1.0
+    for label, count in zip(SIZE_BIN_LABELS, hist):
+        bar = "#" * int(50 * count / total)
+        print(f"  {label:>9}B {count / total:6.1%} {bar}")
+    data = hist[1:]  # the 64 B bin is dominated by reverse-path ACKs
+    if data.sum():
+        print(f"  data packets only (>64 B): {data[-1] / data.sum():.1%} full-MTU")
+
+    print()
+    print("=== uplink balance (Fig 7: few long flows -> imbalance) ===")
+    uplink_bytes = np.array(
+        [p.counters.tx_bytes for p in rack.tor.uplink_ports], dtype=float
+    )
+    mean = uplink_bytes.mean() or 1.0
+    for index, value in enumerate(uplink_bytes):
+        print(f"  up{index}: {value:12,.0f} B  ({value / mean:5.2f}x mean)")
+    mad = np.abs(uplink_bytes - mean).mean() / mean
+    print(f"  normalized MAD over the run: {mad:.0%}")
+
+    print()
+    print("=== shared buffer (Fig 10: standing occupancy + peaks) ===")
+    peaks = report.traces["shared_buffer.peak"].gauge_values().astype(float)
+    capacity = surface.buffer_capacity_bytes
+    print(f"  median peak occupancy: {np.median(peaks) / capacity:.1%} of buffer")
+    print(f"  p99 peak occupancy   : {np.percentile(peaks, 99) / capacity:.1%}")
+    print(f"  congestion drops     : {rack.tor.total_drops()}")
+    print(f"  transfers launched   : {workload.stats.requests_issued}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Incast µbursts: why SNMP counters miss congestion (the Sec 3 story).
+
+Sixteen remote hosts dogpile one server.  The 25 µs sampler sees repeated
+line-rate µbursts and congestion drops at the victim's downlink; the same
+trace resampled at SNMP granularity (minutes here compressed to 40 ms
+bins) shows a nearly idle link — utilization and drops decorrelate
+exactly as the paper's Fig 1 observes.
+
+Run:  python examples/incast_microburst.py
+"""
+
+import numpy as np
+
+from repro import HighResSampler, SamplerConfig, Simulator, build_rack
+from repro.core.counters import bind_tx_bytes, bind_tx_drops
+from repro.core.snmp import coarse_resample
+from repro.netsim import BufferPolicy, RackConfig, SwitchCounterSurface, TorSwitchConfig
+from repro.units import ms, us
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    rack = build_rack(
+        sim,
+        RackConfig(
+            name="incast",
+            switch=TorSwitchConfig(
+                n_downlinks=4,
+                n_uplinks=2,
+                buffer=BufferPolicy(capacity_bytes=250_000, alpha=1.0),
+            ),
+            n_remote_hosts=16,
+        ),
+    )
+    victim = rack.servers[0]
+
+    # Scatter requests: every 8 ms a fresh wave of senders answers at once
+    # (a scatter-gather response wave), each shipping 150 kB to the victim.
+    for wave in range(8):
+        for remote in rack.remote_hosts:
+            sim.schedule(
+                ms(8) * wave + int(remote.name[-1]) * 1000,
+                lambda r=remote: r.send_flow(victim.name, 150_000),
+            )
+
+    surface = SwitchCounterSurface(rack.tor)
+    sampler = HighResSampler(
+        SamplerConfig(interval_ns=us(25)),
+        [bind_tx_bytes(surface, "down0"), bind_tx_drops(surface, "down0")],
+        rng=3,
+    )
+    report = sampler.run_in_sim(sim, ms(80))
+    byte_trace = report.traces["down0.tx_bytes"]
+    drop_trace = report.traces["down0.tx_drops"]
+
+    fine_util = byte_trace.utilization()
+    hot = fine_util > 0.5
+    print("=== high-resolution view (25 us) ===")
+    print(f"peak utilization   : {fine_util.max():.0%}")
+    print(f"hot samples        : {hot.sum()} ({hot.mean():.2%} of samples)")
+    print(f"congestion drops   : {int(drop_trace.values[-1])}")
+    print(f"buffer peak        : {surface.read_peak_buffer_and_reset()} bytes "
+          f"of {surface.buffer_capacity_bytes}")
+
+    coarse = coarse_resample(byte_trace, ms(40), drop_trace=drop_trace)
+    print()
+    print("=== SNMP-style view (40 ms bins) ===")
+    for index, (util, drops) in enumerate(zip(coarse.utilization, coarse.drops)):
+        print(f"bin {index}: utilization {util:6.1%}   drops {int(drops)}")
+    print()
+    print("The coarse view reports a lightly loaded link with drops —")
+    print("the Fig 1 paradox. All congestion lives inside microbursts.")
+
+
+if __name__ == "__main__":
+    main()

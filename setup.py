@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the `wheel` package
+(needed for PEP 660 editable wheels) is unavailable."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Correlation statistics (Fig 1 scalar correlation, Fig 8 heatmaps)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two series.
+
+    Returns 0.0 when either series is constant (no linear relationship
+    measurable) rather than propagating a NaN, which matches how the
+    paper treats idle links in Fig 1.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError("correlation expects two equal-length 1-D series")
+    if len(x) < 2:
+        raise AnalysisError("correlation needs at least two points")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def pearson_matrix(series_by_column: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson matrix of (n_periods, n_series) data (Fig 8).
+
+    Constant columns get zero correlation against everything (and 1.0 on
+    the diagonal), again avoiding NaNs for idle servers.
+    """
+    data = np.asarray(series_by_column, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] < 2:
+        raise AnalysisError("need (n_periods >= 2, n_series) data")
+    n_series = data.shape[1]
+    stds = data.std(axis=0)
+    matrix = np.eye(n_series)
+    live = np.flatnonzero(stds > 0)
+    if len(live) >= 2:
+        sub = np.corrcoef(data[:, live], rowvar=False)
+        for a, i in enumerate(live):
+            for b, j in enumerate(live):
+                matrix[i, j] = sub[a, b]
+    return matrix
+
+
+def mean_offdiagonal(matrix: np.ndarray) -> float:
+    """Average pairwise correlation excluding the diagonal."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise AnalysisError("expected a square matrix")
+    n = matrix.shape[0]
+    if n < 2:
+        raise AnalysisError("need at least a 2x2 matrix")
+    mask = ~np.eye(n, dtype=bool)
+    return float(matrix[mask].mean())
+
+
+def block_mean_correlation(matrix: np.ndarray, groups: list[list[int]]) -> float:
+    """Mean within-group off-diagonal correlation (Cache subsets, Fig 8)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    values: list[float] = []
+    for group in groups:
+        for a_index, a in enumerate(group):
+            for b in group[a_index + 1 :]:
+                values.append(matrix[a, b])
+    if not values:
+        raise AnalysisError("no within-group pairs")
+    return float(np.mean(values))

@@ -1,0 +1,111 @@
+"""Two-state burst Markov model (Sec 5.1, Table 2).
+
+Each sampling interval is classified hot (1) or not (0); the maximum
+likelihood estimate of the first-order transition matrix is the count of
+each transition divided by the occupancy of the source state.  The
+likelihood ratio r = p(1|1) / p(1|0) measures burst correlation: r >> 1
+means hot samples clump, refuting independent arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionMatrix:
+    """MLE of a 2-state Markov chain.
+
+    ``p[a][b]`` = p(x_t = b | x_{t-1} = a), rows sum to 1 (when the
+    source state was observed at all).
+    """
+
+    p00: float
+    p01: float
+    p10: float
+    p11: float
+    counts: tuple[tuple[int, int], tuple[int, int]]
+
+    def as_array(self) -> np.ndarray:
+        return np.array([[self.p00, self.p01], [self.p10, self.p11]])
+
+    @property
+    def likelihood_ratio(self) -> float:
+        """r = p(1|1) / p(1|0); ~1 for independent arrivals (Sec 5.1)."""
+        if self.p01 == 0.0:
+            return float("inf") if self.p11 > 0 else float("nan")
+        return self.p11 / self.p01
+
+    @property
+    def stationary_hot_fraction(self) -> float:
+        """Stationary probability of the hot state, pi_1 = p01/(p01+p10)."""
+        denom = self.p01 + self.p10
+        if denom == 0.0:
+            return float("nan")
+        return self.p01 / denom
+
+
+def count_transitions(mask: np.ndarray) -> tuple[tuple[int, int], tuple[int, int]]:
+    """Counts of (prev, next) state pairs in a boolean series."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise AnalysisError("transition counting expects a 1-D mask")
+    if len(mask) < 2:
+        raise AnalysisError("need at least two samples to count transitions")
+    prev = mask[:-1]
+    nxt = mask[1:]
+    c00 = int(np.sum(~prev & ~nxt))
+    c01 = int(np.sum(~prev & nxt))
+    c10 = int(np.sum(prev & ~nxt))
+    c11 = int(np.sum(prev & nxt))
+    return ((c00, c01), (c10, c11))
+
+
+def fit_transition_matrix(mask: np.ndarray) -> TransitionMatrix:
+    """MLE transition matrix of a hot/not-hot series (Table 2)."""
+    counts = count_transitions(mask)
+    (c00, c01), (c10, c11) = counts
+    from0 = c00 + c01
+    from1 = c10 + c11
+    p00 = c00 / from0 if from0 else float("nan")
+    p01 = c01 / from0 if from0 else float("nan")
+    p10 = c10 / from1 if from1 else float("nan")
+    p11 = c11 / from1 if from1 else float("nan")
+    return TransitionMatrix(p00=p00, p01=p01, p10=p10, p11=p11, counts=counts)
+
+
+def fit_pooled_transition_matrix(masks: list[np.ndarray]) -> TransitionMatrix:
+    """Pool transition counts across many windows before normalising.
+
+    The paper computes per-application matrices over all measured
+    windows of that rack type; pooling counts (rather than averaging
+    per-window probabilities) is the correct MLE for that.
+    """
+    if not masks:
+        raise AnalysisError("no masks to pool")
+    totals = np.zeros((2, 2), dtype=np.int64)
+    for mask in masks:
+        (c00, c01), (c10, c11) = count_transitions(mask)
+        totals += np.array([[c00, c01], [c10, c11]])
+    from0 = totals[0].sum()
+    from1 = totals[1].sum()
+    p00 = totals[0, 0] / from0 if from0 else float("nan")
+    p01 = totals[0, 1] / from0 if from0 else float("nan")
+    p10 = totals[1, 0] / from1 if from1 else float("nan")
+    p11 = totals[1, 1] / from1 if from1 else float("nan")
+    return TransitionMatrix(
+        p00=p00,
+        p01=p01,
+        p10=p10,
+        p11=p11,
+        counts=((int(totals[0, 0]), int(totals[0, 1])), (int(totals[1, 0]), int(totals[1, 1]))),
+    )
+
+
+def burst_likelihood_ratio(mask: np.ndarray) -> float:
+    """Convenience: likelihood ratio straight from a hot mask."""
+    return fit_transition_matrix(mask).likelihood_ratio

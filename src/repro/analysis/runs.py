@@ -1,0 +1,78 @@
+"""Run-length encoding of boolean series.
+
+Bursts are "unbroken sequences of hot samples" (Sec 5.1), so run-length
+encoding is the primitive underneath burst durations, inter-burst gaps,
+and the Markov transition counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class Run:
+    """A maximal run of equal values: ``series[start:stop]`` all ``value``."""
+
+    start: int
+    stop: int
+    value: bool
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def runs_of(mask: np.ndarray) -> list[Run]:
+    """All maximal runs of a boolean array, in order."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise AnalysisError("runs_of expects a one-dimensional mask")
+    if len(mask) == 0:
+        return []
+    change = np.flatnonzero(np.diff(mask.astype(np.int8))) + 1
+    starts = np.concatenate(([0], change))
+    stops = np.concatenate((change, [len(mask)]))
+    return [
+        Run(start=int(a), stop=int(b), value=bool(mask[a]))
+        for a, b in zip(starts, stops)
+    ]
+
+
+def run_lengths(mask: np.ndarray, value: bool) -> np.ndarray:
+    """Lengths of all maximal runs equal to ``value`` (vectorised)."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise AnalysisError("run_lengths expects a one-dimensional mask")
+    if len(mask) == 0:
+        return np.zeros(0, dtype=np.int64)
+    target = mask == value
+    padded = np.concatenate(([False], target, [False]))
+    diff = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(diff == 1)
+    stops = np.flatnonzero(diff == -1)
+    return (stops - starts).astype(np.int64)
+
+
+def interior_run_lengths(mask: np.ndarray, value: bool) -> np.ndarray:
+    """Run lengths excluding runs touching either boundary.
+
+    Inter-burst gaps are only meaningful between two observed bursts; a
+    gap truncated by the start or end of the measurement window would
+    bias the distribution downward, so Fig 4's analysis drops them.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    lengths = run_lengths(mask, value)
+    if len(lengths) == 0:
+        return lengths
+    drop_first = len(mask) > 0 and bool(mask[0]) == value
+    drop_last = len(mask) > 0 and bool(mask[-1]) == value
+    start = 1 if drop_first else 0
+    stop = len(lengths) - 1 if drop_last else len(lengths)
+    if stop <= start:
+        return np.zeros(0, dtype=np.int64)
+    return lengths[start:stop]

@@ -1,0 +1,134 @@
+"""Command-line interface: ``repro <experiment> [options]``.
+
+Examples
+--------
+    repro list
+    repro fig3 --seed 1
+    repro all --seed 0 --series
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures from 'High-Resolution Measurement of "
+            "Data Center Microbursts' (IMC 2017) on the simulated substrate."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment id (fig1..fig10, tab1, tab2, ext-*), 'all', 'list', "
+            "'validate' (calibration scorecard vs the paper), "
+            "'export' (write release-format distributions), or "
+            "'compare' (diff a directory of distributions against us)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--series",
+        action="store_true",
+        help="also print the raw (x, y) series behind each figure",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "full"),
+        default="small",
+        help="'full' uses campaign-scale data volumes (slow)",
+    )
+    parser.add_argument(
+        "--dir",
+        default="distributions",
+        help="directory for 'export' output / 'compare' input",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
+    return parser
+
+
+def _scale_kwargs(experiment_id: str, scale: str) -> dict:
+    if scale == "small":
+        return {}
+    full = {
+        "fig3": dict(n_windows=240, window_s=10.0),
+        "tab2": dict(n_windows=240, window_s=10.0),
+        "fig4": dict(n_windows=240, window_s=10.0),
+        "fig6": dict(n_windows=240, window_s=10.0),
+        "fig5": dict(duration_s=120.0),
+        "fig7": dict(duration_s=60.0),
+        "fig8": dict(duration_s=60.0),
+        "fig9": dict(duration_s=60.0),
+        "fig10": dict(duration_s=120.0),
+        "fig1": dict(n_links=20000),
+        "tab1": dict(duration_s=10.0),
+    }
+    return full.get(experiment_id, {})
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if args.experiment == "export":
+        from repro.data.export import export_distributions
+
+        n_windows = 240 if args.scale == "full" else 24
+        paths = export_distributions(args.dir, seed=args.seed, n_windows=n_windows)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+    if args.experiment == "validate":
+        from repro.synth.validation import calibration_scorecard, render_scorecard
+
+        n_ticks = 8_000_000 if args.scale == "full" else 2_000_000
+        results = calibration_scorecard(seed=args.seed, n_ticks=n_ticks)
+        print(render_scorecard(results))
+        return 0 if all(check.passed for check in results) else 1
+    if args.experiment == "compare":
+        from repro.data.export import compare_directory
+
+        for report in compare_directory(args.dir, seed=args.seed):
+            print(
+                f"{report['file']:>18}: p50 {report['reference_p50']:.4g} vs "
+                f"{report['ours_p50']:.4g}  p90 {report['reference_p90']:.4g} vs "
+                f"{report['ours_p90']:.4g}  KS {report['ks_distance']:.3f}"
+            )
+        return 0
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    json_payload = []
+    for experiment_id in targets:
+        start = time.time()
+        result = run_experiment(
+            experiment_id, seed=args.seed, **_scale_kwargs(experiment_id, args.scale)
+        )
+        if args.json:
+            payload = result.to_dict(include_series=args.series)
+            payload["seconds"] = round(time.time() - start, 2)
+            json_payload.append(payload)
+        else:
+            print(result.render(include_series=args.series))
+            print(f"[{experiment_id} completed in {time.time() - start:.1f}s]")
+            print()
+    if args.json:
+        import json
+
+        print(json.dumps(json_payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Adaptive-rate sampling.
+
+Sec 5.1 notes the polling rate is "fundamentally limited by latency
+between the CPU and the ASIC" and Sec 4.1 that precision can be traded
+for CPU utilization.  A natural refinement the paper's design points to
+is *adaptive* polling: idle links are sampled slowly (cheap), and the
+first hot sample switches the loop to the fast interval for a hold
+period, capturing burst interiors at full resolution while spending far
+less CPU than always-fast polling.
+
+:class:`AdaptiveSampler` implements that policy on the same counter
+bindings and timing model as :class:`~repro.core.sampler.HighResSampler`,
+so the two are directly comparable (see
+``benchmarks/bench_adaptive.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.asic import AsicTimingModel
+from repro.core.collector import CollectorService
+from repro.core.counters import CounterBinding, validate_group
+from repro.core.sampler import SamplerReport, TimingStats
+from repro.errors import ConfigError, SamplingError
+from repro.netsim.engine import Simulator
+from repro.units import NS_PER_S, us
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptiveConfig:
+    """Two-rate polling policy.
+
+    The loop polls at ``slow_interval_ns``; when the primary byte
+    counter's last interval exceeded ``trigger_utilization`` it polls at
+    ``fast_interval_ns`` until ``hold_ns`` passes without a hot sample.
+    """
+
+    fast_interval_ns: int = us(25)
+    slow_interval_ns: int = us(250)
+    trigger_utilization: float = 0.4
+    hold_ns: int = us(500)
+    dedicated_core: bool = True
+    timing: AsicTimingModel = field(default_factory=AsicTimingModel)
+
+    def __post_init__(self) -> None:
+        if self.fast_interval_ns <= 0 or self.slow_interval_ns <= 0:
+            raise ConfigError("intervals must be positive")
+        if self.fast_interval_ns >= self.slow_interval_ns:
+            raise ConfigError("fast interval must be below the slow interval")
+        if not 0.0 < self.trigger_utilization < 1.0:
+            raise ConfigError("trigger utilization must be in (0, 1)")
+        if self.hold_ns < self.fast_interval_ns:
+            raise ConfigError("hold must cover at least one fast interval")
+
+
+@dataclass(slots=True)
+class AdaptiveStats:
+    """Behaviour of one adaptive run."""
+
+    fast_polls: int = 0
+    slow_polls: int = 0
+    escalations: int = 0
+
+    @property
+    def total_polls(self) -> int:
+        return self.fast_polls + self.slow_polls
+
+    def duty_cycle(self, config: AdaptiveConfig) -> float:
+        """CPU cost relative to always-fast polling (1.0 = no saving)."""
+        always_fast_polls = (
+            self.fast_polls
+            + self.slow_polls * config.slow_interval_ns / config.fast_interval_ns
+        )
+        if always_fast_polls == 0:
+            return 0.0
+        return self.total_polls / always_fast_polls
+
+
+class AdaptiveSampler:
+    """Two-rate sampler driven by the first binding's byte counter."""
+
+    def __init__(
+        self,
+        config: AdaptiveConfig,
+        bindings: list[CounterBinding],
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not bindings:
+            raise SamplingError("adaptive sampler needs at least one binding")
+        validate_group(bindings)
+        primary = bindings[0]
+        if primary.spec.rate_bps <= 0:
+            raise SamplingError(
+                "the first binding must be a byte counter with a line rate "
+                "(it drives the escalation trigger)"
+            )
+        self.config = config
+        self.bindings = bindings
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(rng)
+        self._specs = [binding.spec for binding in bindings]
+
+    def run_in_sim(
+        self,
+        sim: Simulator,
+        duration_ns: int,
+        collector: CollectorService | None = None,
+    ) -> tuple[SamplerReport, AdaptiveStats]:
+        if duration_ns <= 0:
+            raise ConfigError("duration must be positive")
+        collector = collector or CollectorService()
+        for spec in self._specs:
+            collector.register(spec)
+        timing = TimingStats()
+        adaptive = AdaptiveStats()
+        config = self.config
+        primary = self.bindings[0]
+        end = sim.now + duration_ns
+        state = {
+            "fast_until": -1,
+            "last_value": None,
+            "last_time": None,
+        }
+
+        def current_interval() -> int:
+            if sim.now < state["fast_until"]:
+                return config.fast_interval_ns
+            return config.slow_interval_ns
+
+        def poll() -> None:
+            if sim.now >= end:
+                return
+            interval = current_interval()
+            latency = config.timing.group_read_latency_ns(
+                self._specs, self.rng, dedicated_core=config.dedicated_core
+            )
+
+            def complete() -> None:
+                value = None
+                for binding in self.bindings:
+                    read_value = binding.read()
+                    collector.record(binding.spec.name, sim.now, read_value)
+                    if binding is primary:
+                        value = read_value
+                timing.taken += 1
+                timing.scheduled += 1
+                if latency > interval:
+                    timing.missed += 1
+                if sim.now < state["fast_until"]:
+                    adaptive.fast_polls += 1
+                else:
+                    adaptive.slow_polls += 1
+                # escalation check on the primary byte counter
+                if state["last_value"] is not None and sim.now > state["last_time"]:
+                    delta = value - state["last_value"]
+                    dt = sim.now - state["last_time"]
+                    utilization = delta * 8.0 * NS_PER_S / dt / primary.spec.rate_bps
+                    if utilization > config.trigger_utilization:
+                        if sim.now >= state["fast_until"]:
+                            adaptive.escalations += 1
+                        state["fast_until"] = sim.now + config.hold_ns
+                state["last_value"] = value
+                state["last_time"] = sim.now
+                next_time = sim.now + max(current_interval(), latency)
+                if next_time < end:
+                    sim.schedule_at(next_time, poll)
+
+            sim.schedule_at(sim.now + latency, complete)
+
+        sim.schedule_at(sim.now, poll)
+        sim.run_until(end)
+        report = SamplerReport(
+            traces=collector.finalize(),
+            timing=timing,
+            cpu_utilization=config.timing.expected_cpu_utilization(
+                self._specs, config.slow_interval_ns
+            ),
+        )
+        return report, adaptive

@@ -1,0 +1,127 @@
+"""Measurement campaigns.
+
+Implements the paper's data-collection discipline (Sec 4.2): 30 racks (10
+per application), and for each rack one randomly chosen port sampled over
+one random 2-minute window in every hour of a day, capturing diurnal
+variation while respecting data-retention limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol
+
+import numpy as np
+
+from repro.core.samples import CounterTrace
+from repro.errors import ConfigError
+from repro.units import NS_PER_S, seconds
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignWindow:
+    """One (rack, hour) measurement window."""
+
+    rack_id: str
+    rack_type: str
+    port_name: str
+    hour: int
+    start_ns: int
+    duration_ns: int
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+
+class WindowSource(Protocol):
+    """Anything that can produce counter traces for a campaign window."""
+
+    def sample_window(self, window: CampaignWindow) -> dict[str, CounterTrace]:
+        """Collect traces covering ``window``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignPlan:
+    """The full schedule of windows for a campaign."""
+
+    windows: tuple[CampaignWindow, ...]
+
+    @staticmethod
+    def generate(
+        racks: Iterable[tuple[str, str]],
+        port_chooser: Callable[[str, np.random.Generator], str],
+        rng: np.random.Generator,
+        hours: int = 24,
+        window_duration_ns: int = seconds(120),
+    ) -> "CampaignPlan":
+        """Random-port / random-window-per-hour schedule.
+
+        Parameters
+        ----------
+        racks:
+            ``(rack_id, rack_type)`` pairs, e.g. 10 each of web / cache /
+            hadoop.
+        port_chooser:
+            Picks the one measured port for a rack (the paper samples a
+            single random port per rack).
+        """
+        if hours <= 0:
+            raise ConfigError("campaign needs at least one hour")
+        hour_ns = seconds(3600)
+        if window_duration_ns <= 0 or window_duration_ns > hour_ns:
+            raise ConfigError("window must fit within an hour")
+        windows: list[CampaignWindow] = []
+        for rack_id, rack_type in racks:
+            port = port_chooser(rack_id, rng)
+            for hour in range(hours):
+                offset = int(rng.integers(0, hour_ns - window_duration_ns + 1))
+                windows.append(
+                    CampaignWindow(
+                        rack_id=rack_id,
+                        rack_type=rack_type,
+                        port_name=port,
+                        hour=hour,
+                        start_ns=hour * hour_ns + offset,
+                        duration_ns=window_duration_ns,
+                    )
+                )
+        return CampaignPlan(windows=tuple(windows))
+
+    def windows_for_type(self, rack_type: str) -> list[CampaignWindow]:
+        return [w for w in self.windows if w.rack_type == rack_type]
+
+    @property
+    def total_measured_seconds(self) -> float:
+        return sum(w.duration_ns for w in self.windows) / NS_PER_S
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Collected traces keyed by window."""
+
+    plan: CampaignPlan
+    traces: list[dict[str, CounterTrace]]
+
+    def by_type(self, rack_type: str) -> list[dict[str, CounterTrace]]:
+        return [
+            traces
+            for window, traces in zip(self.plan.windows, self.traces)
+            if window.rack_type == rack_type
+        ]
+
+    def iter_windows(self):
+        return zip(self.plan.windows, self.traces)
+
+
+class MeasurementCampaign:
+    """Executes a plan against a window source."""
+
+    def __init__(self, plan: CampaignPlan, source: WindowSource) -> None:
+        self.plan = plan
+        self.source = source
+
+    def run(self) -> CampaignResult:
+        traces = [self.source.sample_window(window) for window in self.plan.windows]
+        return CampaignResult(plan=self.plan, traces=traces)

@@ -1,0 +1,133 @@
+"""Counter specifications and bindings.
+
+A :class:`CounterSpec` describes *what* is polled (identity, semantics,
+hardware cost class); a :class:`CounterBinding` attaches the spec to a
+concrete read function on a counter surface.  The sampler only sees
+bindings, so it can poll the packet simulator, the synthetic generator,
+or (in the original system) real ASIC registers through one interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.samples import ValueKind
+from repro.errors import CounterError
+from repro.netsim.tracing import SwitchCounterSurface
+
+
+class CounterKind(enum.Enum):
+    """The three counter families the paper collects (Sec 4.1), plus the
+    drop counter used by the coarse-grained motivation study (Sec 3)."""
+
+    BYTE = "byte"
+    PACKET_SIZE_HIST = "packet_size_hist"
+    PEAK_BUFFER = "peak_buffer"
+    DROP = "drop"
+
+
+class CostClass(enum.Enum):
+    """Where the counter lives on the ASIC.
+
+    Register-backed counters are cheap to read; memory-backed ones (the
+    shared-buffer watermark) "take much longer to poll" (Sec 4.1 gives
+    50 us for the buffer counter vs 25 us for byte counters).
+    """
+
+    REGISTER = "register"
+    MEMORY = "memory"
+
+
+_KIND_COST: dict[CounterKind, CostClass] = {
+    CounterKind.BYTE: CostClass.REGISTER,
+    CounterKind.PACKET_SIZE_HIST: CostClass.REGISTER,
+    CounterKind.PEAK_BUFFER: CostClass.MEMORY,
+    CounterKind.DROP: CostClass.REGISTER,
+}
+
+_KIND_VALUE: dict[CounterKind, ValueKind] = {
+    CounterKind.BYTE: ValueKind.CUMULATIVE,
+    CounterKind.PACKET_SIZE_HIST: ValueKind.CUMULATIVE,
+    CounterKind.PEAK_BUFFER: ValueKind.GAUGE,
+    CounterKind.DROP: ValueKind.CUMULATIVE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CounterSpec:
+    """Identity and semantics of one pollable counter instance."""
+
+    name: str
+    kind: CounterKind
+    rate_bps: float = 0.0
+
+    @property
+    def cost_class(self) -> CostClass:
+        return _KIND_COST[self.kind]
+
+    @property
+    def value_kind(self) -> ValueKind:
+        return _KIND_VALUE[self.kind]
+
+
+@dataclass(frozen=True, slots=True)
+class CounterBinding:
+    """A spec attached to a concrete read operation."""
+
+    spec: CounterSpec
+    read: Callable[[], int | tuple[int, ...]]
+
+
+# -- binding factories for the simulator's counter surface -------------------
+
+
+def bind_tx_bytes(surface: SwitchCounterSurface, port: str) -> CounterBinding:
+    """Egress byte counter of ``port`` (the paper's workhorse counter)."""
+    spec = CounterSpec(
+        name=f"{port}.tx_bytes",
+        kind=CounterKind.BYTE,
+        rate_bps=surface.port_rate_bps(port),
+    )
+    return CounterBinding(spec=spec, read=lambda: surface.read_tx_bytes(port))
+
+
+def bind_rx_bytes(surface: SwitchCounterSurface, port: str) -> CounterBinding:
+    spec = CounterSpec(
+        name=f"{port}.rx_bytes",
+        kind=CounterKind.BYTE,
+        rate_bps=surface.port_rate_bps(port),
+    )
+    return CounterBinding(spec=spec, read=lambda: surface.read_rx_bytes(port))
+
+
+def bind_tx_drops(surface: SwitchCounterSurface, port: str) -> CounterBinding:
+    spec = CounterSpec(name=f"{port}.tx_drops", kind=CounterKind.DROP)
+    return CounterBinding(spec=spec, read=lambda: surface.read_tx_drops(port))
+
+
+def bind_tx_size_hist(surface: SwitchCounterSurface, port: str) -> CounterBinding:
+    spec = CounterSpec(
+        name=f"{port}.tx_size_hist",
+        kind=CounterKind.PACKET_SIZE_HIST,
+        rate_bps=surface.port_rate_bps(port),
+    )
+    return CounterBinding(spec=spec, read=lambda: surface.read_tx_size_histogram(port))
+
+
+def bind_peak_buffer(surface: SwitchCounterSurface) -> CounterBinding:
+    spec = CounterSpec(name="shared_buffer.peak", kind=CounterKind.PEAK_BUFFER)
+    return CounterBinding(spec=spec, read=surface.read_peak_buffer_and_reset)
+
+
+def bind_all_tx_bytes(surface: SwitchCounterSurface) -> list[CounterBinding]:
+    """One egress byte-counter binding per switch port."""
+    return [bind_tx_bytes(surface, port) for port in surface.port_names]
+
+
+def validate_group(bindings: list[CounterBinding]) -> None:
+    """Reject duplicate counter names within one measurement campaign."""
+    names = [binding.spec.name for binding in bindings]
+    if len(set(names)) != len(names):
+        raise CounterError(f"duplicate counters in group: {sorted(names)}")

@@ -1,0 +1,72 @@
+"""Counter-trace persistence.
+
+Campaigns produce large numbers of traces; this module stores them as
+compressed ``.npz`` archives (one archive per campaign window or ad-hoc
+collection) with enough metadata to reconstruct full
+:class:`~repro.core.samples.CounterTrace` objects — name, semantics, and
+line rate included.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.samples import CounterTrace, ValueKind
+from repro.errors import DataFormatError
+
+_FORMAT_KEY = "__repro_trace_archive__"
+_FORMAT_VERSION = 1
+
+
+def save_traces(path: str | Path, traces: dict[str, CounterTrace]) -> None:
+    """Write a named collection of traces to one compressed archive."""
+    if not traces:
+        raise DataFormatError("refusing to write an empty trace archive")
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        _FORMAT_KEY: np.array([_FORMAT_VERSION], dtype=np.int64)
+    }
+    names: list[str] = []
+    for index, (name, trace) in enumerate(traces.items()):
+        if name != trace.name:
+            raise DataFormatError(
+                f"archive key {name!r} does not match trace name {trace.name!r}"
+            )
+        prefix = f"t{index}"
+        payload[f"{prefix}.timestamps"] = trace.timestamps_ns
+        payload[f"{prefix}.values"] = trace.values
+        payload[f"{prefix}.meta"] = np.array(
+            [trace.name, trace.kind.value, repr(float(trace.rate_bps))]
+        )
+        names.append(name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_traces(path: str | Path) -> dict[str, CounterTrace]:
+    """Load a trace archive written by :func:`save_traces`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if _FORMAT_KEY not in archive:
+            raise DataFormatError(f"{path} is not a repro trace archive")
+        version = int(archive[_FORMAT_KEY][0])
+        if version != _FORMAT_VERSION:
+            raise DataFormatError(f"{path}: unsupported archive version {version}")
+        traces: dict[str, CounterTrace] = {}
+        index = 0
+        while f"t{index}.meta" in archive:
+            name, kind_value, rate_repr = archive[f"t{index}.meta"]
+            trace = CounterTrace(
+                timestamps_ns=archive[f"t{index}.timestamps"],
+                values=archive[f"t{index}.values"],
+                kind=ValueKind(str(kind_value)),
+                name=str(name),
+                rate_bps=float(str(rate_repr)),
+            )
+            traces[trace.name] = trace
+            index += 1
+    if not traces:
+        raise DataFormatError(f"{path}: archive holds no traces")
+    return traces

@@ -1,0 +1,21 @@
+"""Published-data handling.
+
+``published`` holds every quantitative statement in the paper as a
+structured target (used by experiments and EXPERIMENTS.md); ``schema``
+and ``io`` implement the distribution-file format of the authors' data
+release (github.com/zhangqiaorjc/imc2017-data) so real distributions can
+be dropped in next to synthetic ones.
+"""
+
+from repro.data.published import PAPER, PaperTargets, Table2Entry
+from repro.data.schema import DistributionFile
+from repro.data.io import read_distribution, write_distribution
+
+__all__ = [
+    "PAPER",
+    "PaperTargets",
+    "Table2Entry",
+    "DistributionFile",
+    "read_distribution",
+    "write_distribution",
+]

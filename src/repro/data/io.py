@@ -1,0 +1,77 @@
+"""Reading and writing distribution files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.data.schema import FORMAT_VERSION, HEADER_PREFIX, DistributionFile
+from repro.errors import DataFormatError
+
+
+def write_distribution(path: str | Path, dist: DistributionFile) -> None:
+    """Write one distribution file (text, two columns)."""
+    path = Path(path)
+    lines = dist.header_lines()
+    for x, f in zip(dist.x, dist.cdf):
+        lines.append(f"{x:.9g} {f:.9g}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_distribution(path: str | Path) -> DistributionFile:
+    """Parse a distribution file, validating the header and columns."""
+    path = Path(path)
+    meta: dict[str, str] = {}
+    xs: list[float] = []
+    fs: list[float] = []
+    lines = path.read_text().splitlines()
+    if not lines or not lines[0].startswith(HEADER_PREFIX):
+        raise DataFormatError(f"{path}: missing '{HEADER_PREFIX}' header")
+    version = lines[0].rsplit("v", 1)[-1]
+    if version.strip() != str(FORMAT_VERSION):
+        raise DataFormatError(f"{path}: unsupported format version {version!r}")
+    for line_number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                meta[key.strip()] = value.strip()
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise DataFormatError(f"{path}:{line_number}: expected two columns")
+        try:
+            xs.append(float(parts[0]))
+            fs.append(float(parts[1]))
+        except ValueError:
+            raise DataFormatError(
+                f"{path}:{line_number}: non-numeric value {line!r}"
+            ) from None
+    for required in ("figure", "app", "unit"):
+        if required not in meta:
+            raise DataFormatError(f"{path}: missing '{required}' in header")
+    return DistributionFile(
+        figure=meta["figure"],
+        app=meta["app"],
+        unit=meta["unit"],
+        x=np.asarray(xs),
+        cdf=np.asarray(fs),
+    )
+
+
+def distribution_from_samples(
+    samples: np.ndarray,
+    figure: str,
+    app: str,
+    unit: str,
+    n_points: int = 200,
+) -> DistributionFile:
+    """Build a release-format distribution from raw samples."""
+    cdf = EmpiricalCdf(np.asarray(samples, dtype=np.float64))
+    xs, fs = cdf.grid(n_points)
+    return DistributionFile(figure=figure, app=app, unit=unit, x=xs, cdf=fs)

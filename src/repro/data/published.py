@@ -1,0 +1,116 @@
+"""The paper's published statistics, digitized from the text.
+
+Every number is quoted from Zhang et al., IMC 2017; section references
+are in the field comments.  These are the comparison targets printed by
+every experiment and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+APPS = ("web", "cache", "hadoop")
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Entry:
+    """One application's burst Markov model (Table 2 + Eq. 1-3)."""
+
+    p01: float  # p(hot | previous cold)
+    p11: float  # p(hot | previous hot)
+    likelihood_ratio: float
+
+    @property
+    def p00(self) -> float:
+        return 1.0 - self.p01
+
+    @property
+    def p10(self) -> float:
+        return 1.0 - self.p11
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """All headline numbers, keyed by application where applicable."""
+
+    # --- Sec 3 / Fig 1: coarse-grained motivation
+    fig1_utilization_drop_correlation: float = 0.098
+    fig2_low_util_port: float = 0.09  # ~9 % average utilization (web path)
+    fig2_high_util_port: float = 0.43  # ~43 % (offline data processing)
+
+    # --- Sec 4.1 / Table 1: sampling interval vs missed intervals
+    tab1_miss_rates: dict = field(
+        default_factory=lambda: {1_000: 1.00, 10_000: 0.10, 25_000: 0.01}
+    )  # interval_ns -> miss fraction
+    buffer_counter_interval_ns: int = 50_000  # "takes much longer to poll (50us)"
+
+    # --- Sec 5.1 / Fig 3: burst durations at 25 us
+    fig3_p90_burst_duration_ns: dict = field(
+        default_factory=lambda: {"web": 50_000, "cache": 200_000, "hadoop": 200_000}
+    )  # "p90 < 200 us for all three, Web lowest at 50 us (two periods)"
+    fig3_single_period_fraction_min: dict = field(
+        default_factory=lambda: {"web": 0.60, "cache": 0.60}
+    )  # "over 60 % of Web and Cache bursts terminated within [25 us]"
+    microburst_share_min: float = 0.70  # abstract: ">70 % of bursts ... tens of us"
+
+    # --- Sec 5.1 / Table 2
+    table2: dict = field(
+        default_factory=lambda: {
+            "web": Table2Entry(p01=0.003, p11=0.359, likelihood_ratio=119.7),
+            "cache": Table2Entry(p01=0.016, p11=0.721, likelihood_ratio=45.1),
+            "hadoop": Table2Entry(p01=0.042, p11=0.655, likelihood_ratio=15.6),
+        }
+    )
+
+    # --- Sec 5.2 / Fig 4: inter-burst periods
+    fig4_small_gap_fraction: dict = field(
+        default_factory=lambda: {"web": 0.40, "cache": 0.40}
+    )  # "40 % of inter-burst periods last less than 100 us" (web/cache)
+    fig4_gap_tail_ns: int = 100_000_000  # "order of hundreds of milliseconds"
+    fig4_poisson_p_value_max: float = 0.05  # "p-value close to 0": reject Poisson
+
+    # --- Sec 5.3 / Fig 5: packet sizes inside vs outside bursts
+    fig5_large_packet_increase: dict = field(
+        default_factory=lambda: {"web": 0.60, "cache": 0.20, "hadoop": 0.05}
+    )  # relative increase of large packets inside bursts
+    fig5_hadoop_mtu_share_min: float = 0.80  # "vast majority always large"
+
+    # --- Sec 5.4 / Fig 6: utilization distribution
+    fig6_hadoop_hot_time: float = 0.15  # "Hadoop ports spend the most time in bursts at ~15 %"
+    fig6_hadoop_full_rate_time: float = 0.10  # "~10 % of periods at close to 100 %"
+
+    # --- Sec 6.1 / Fig 7: uplink balance
+    fig7_median_mad_min: float = 0.25  # "all three types had a MAD of over 25 %"
+    fig7_hadoop_p90_mad: float = 1.00  # "90th percentile ... deviation of 100 %"
+
+    # --- Sec 6.2 / Fig 8: server correlation
+    fig8_web_corr_max: float = 0.10  # "almost no correlation"
+    fig8_cache_group_corr_min: float = 0.50  # "very strong correlation" in subsets
+    fig8_hadoop_corr_range: tuple = (0.05, 0.45)  # "some ... but modest"
+
+    # --- Sec 6.3 / Fig 9: directionality
+    fig9_uplink_share: dict = field(
+        default_factory=lambda: {"web": 0.10, "cache": 0.55, "hadoop": 0.18}
+    )  # hadoop stated exactly (18 %); web "even lower"; cache majority-uplink
+
+    # --- Sec 6.4 / Fig 10: buffers
+    fig10_max_hot_port_fraction: dict = field(
+        default_factory=lambda: {"web": 0.71, "cache": 0.64, "hadoop": 1.00}
+    )
+    fig10_hadoop_standing_occupancy: bool = True  # "high standing buffer occupancy"
+
+    # --- Sec 4.2: measurement campaign shape
+    campaign_racks_per_app: int = 10
+    campaign_hours: int = 24
+    campaign_window_s: int = 120
+    campaign_total_windows: int = 720
+    campaign_samples_per_window: int = 5_000_000  # "around 5 million data points"
+
+    # --- network architecture (Sec 4.2, 6.3)
+    server_link_gbps: int = 10
+    tor_uplinks: int = 4
+    oversubscription: float = 4.0
+    drops_tor_to_server_share: float = 0.90  # "~90 % ... in the ToR-server direction"
+
+
+PAPER = PaperTargets()

@@ -1,0 +1,60 @@
+"""Distribution-file schema.
+
+The authors released "raw data for the distributions presented in the
+paper" as per-figure files of (x, cdf) pairs.  We mirror that layout so
+a user with the real release can diff it against our synthetic output:
+one file per (figure, application) with a small header and two columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataFormatError
+
+HEADER_PREFIX = "# imc2017-distribution"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DistributionFile:
+    """An (x, cdf) distribution with identifying metadata."""
+
+    figure: str  # e.g. "fig3"
+    app: str  # "web" | "cache" | "hadoop" | "all"
+    unit: str  # e.g. "us", "fraction"
+    x: np.ndarray
+    cdf: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=np.float64)
+        cdf = np.asarray(self.cdf, dtype=np.float64)
+        if x.ndim != 1 or x.shape != cdf.shape:
+            raise DataFormatError("x and cdf must be equal-length 1-D arrays")
+        if len(x) < 2:
+            raise DataFormatError("distribution needs at least two points")
+        if np.any(np.diff(x) < 0):
+            raise DataFormatError("x values must be non-decreasing")
+        if np.any(np.diff(cdf) < -1e-12):
+            raise DataFormatError("cdf must be non-decreasing")
+        if cdf[0] < -1e-12 or cdf[-1] > 1.0 + 1e-12:
+            raise DataFormatError("cdf values must lie in [0, 1]")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "cdf", cdf)
+
+    def percentile(self, q: float) -> float:
+        """Invert the CDF at quantile q in [0, 1] (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise DataFormatError(f"quantile {q} outside [0, 1]")
+        return float(np.interp(q, self.cdf, self.x))
+
+    def header_lines(self) -> list[str]:
+        return [
+            f"{HEADER_PREFIX} v{FORMAT_VERSION}",
+            f"# figure: {self.figure}",
+            f"# app: {self.app}",
+            f"# unit: {self.unit}",
+            "# columns: x cdf",
+        ]

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each experiment module exposes ``run(seed=..., ...) -> ExperimentResult``
+producing paper-vs-measured rows; the CLI (``python -m repro <id>``) and
+the benchmark suite both go through :mod:`repro.experiments.registry`.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment", "run_experiment"]

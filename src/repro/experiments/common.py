@@ -1,0 +1,94 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.report import format_comparison
+from repro.core.samples import CounterTrace
+from repro.synth.calibration import BASE_TICK_NS
+from repro.synth.dataset import synthesize_app_windows
+from repro.units import seconds
+
+APPS = ("web", "cache", "hadoop")
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Outcome of one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    rows: list[tuple[str, object, object]] = field(default_factory=list)
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, metric: str, paper: object, measured: object) -> None:
+        self.rows.append((metric, paper, measured))
+
+    def add_series(self, name: str, points: list[tuple[float, float]]) -> None:
+        self.series[name] = points
+
+    def render(self, include_series: bool = False) -> str:
+        parts = [
+            format_comparison(self.rows, title=f"{self.experiment_id}: {self.title}")
+        ]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        if include_series:
+            for name, points in self.series.items():
+                parts.append(f"series {name}:")
+                parts.extend(f"  {x:.6g} {y:.6g}" for x, y in points)
+        return "\n".join(parts)
+
+    def to_dict(self, include_series: bool = False) -> dict:
+        """Machine-readable form (the CLI's --json output)."""
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [
+                {"metric": metric, "paper": _jsonable(paper), "measured": _jsonable(measured)}
+                for metric, paper, measured in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+        if include_series:
+            payload["series"] = {
+                name: [[x, y] for x, y in points]
+                for name, points in self.series.items()
+            }
+        return payload
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def app_byte_traces(
+    app: str,
+    seed: int,
+    n_windows: int,
+    window_s: float,
+    tick_ns: int = BASE_TICK_NS,
+) -> list[CounterTrace]:
+    """Single-port byte traces for one application (the common input of
+    the Fig 3/4/6 and Table 2 experiments)."""
+    return synthesize_app_windows(
+        app,
+        n_windows=n_windows,
+        window_duration_ns=seconds(window_s),
+        seed=seed,
+    )
+
+
+def pooled_utilization(traces: list[CounterTrace]) -> np.ndarray:
+    """Concatenate per-window utilization series (window boundaries are
+    handled upstream: statistics never straddle windows because each
+    trace is analysed separately before pooling where it matters)."""
+    return np.concatenate([trace.utilization() for trace in traces])

@@ -1,0 +1,97 @@
+"""Fig 10: peak shared-buffer occupancy vs. number of hot ports.
+
+50 ms windows; hotness judged at 300 µs granularity; occupancy
+normalised to the maximum observed anywhere.  Paper landmarks: Hadoop
+stresses buffers most — standing occupancy even with few hot ports,
+steeper growth, and up to 100 % of ports simultaneously hot (Web 71 %,
+Cache 64 % maxima); mean occupancy levels off at high hot-port counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bufferstats import occupancy_by_hot_ports
+from repro.analysis.hotports import max_simultaneous_hot_fraction, window_hot_port_counts
+from repro.analysis.mad import resample_utilization
+from repro.data.published import PAPER
+from repro.experiments.common import APPS, ExperimentResult
+from repro.synth.buffermodel import BufferResponseModel
+from repro.synth.calibration import APP_PROFILES, BASE_TICK_NS
+from repro.synth.rackmodel import RackSynthesizer
+from repro.units import ms, seconds
+
+
+def run(
+    seed: int = 0,
+    duration_s: float = 20.0,
+    n_activity_windows: int = 16,
+) -> ExperimentResult:
+    """``duration_s`` is split into ``n_activity_windows`` spans, each with
+    its own diurnal activity level — hot-port counts then range from near
+    zero (idle hours) to near all-ports (peak shuffle), as in the paper's
+    24-hour campaign."""
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Peak buffer occupancy vs simultaneously hot ports (50ms windows)",
+    )
+    ticks_per_300us = 12
+    periods_per_window = int(ms(50)) // (BASE_TICK_NS * ticks_per_300us)
+    span_ticks = int(seconds(duration_s)) // BASE_TICK_NS // n_activity_windows
+    slopes = {}
+    for app in APPS:
+        rng = np.random.default_rng(seed + 5)
+        synthesizer = RackSynthesizer(app)
+        spans = []
+        for _ in range(n_activity_windows):
+            activity = float(np.clip(rng.lognormal(-0.6, 1.4), 0.004, 3.0))
+            spans.append(
+                synthesizer.synthesize(span_ticks, rng, activity=activity)
+                .all_egress_util()
+            )
+        util = resample_utilization(np.concatenate(spans, axis=0), ticks_per_300us)
+        counts = window_hot_port_counts(util, periods_per_window)
+        model = BufferResponseModel.for_app(APP_PROFILES[app], n_ports=util.shape[1])
+        peaks = model.sample(counts, rng)
+        groups = occupancy_by_hot_ports(peaks, util, periods_per_window)
+        slopes[app] = (
+            groups[max(groups)].median - groups[min(groups)].median
+            if len(groups) > 1
+            else 0.0
+        )
+        low_group = groups[min(groups)]
+        result.add(
+            f"{app}: occupancy at fewest hot ports (median)",
+            "high standing occupancy for hadoop",
+            round(low_group.median, 3),
+        )
+        max_hot = max_simultaneous_hot_fraction(util)
+        result.add(
+            f"{app}: max fraction of ports simultaneously hot",
+            PAPER.fig10_max_hot_port_fraction[app],
+            round(max_hot, 2),
+        )
+        if app == "web":
+            result.notes.append(
+                "web's max-hot-fraction is scale-limited: the paper's 0.71 "
+                "is a maximum over 240 two-minute windows; short runs "
+                "rarely catch rack-wide web surges"
+            )
+        high_counts = [c for c in groups if c >= max(groups) - 1]
+        lows = [groups[c].mean for c in sorted(groups)[:2]]
+        highs = [groups[c].mean for c in high_counts]
+        result.add(
+            f"{app}: mean occupancy low->high hot ports",
+            "grows then levels off",
+            f"{np.mean(lows):.3f} -> {np.mean(highs):.3f}",
+        )
+        result.add_series(
+            f"{app}_median_occupancy_by_hot_ports",
+            [(float(c), groups[c].median) for c in sorted(groups)],
+        )
+    result.add(
+        "hadoop occupancy scales most drastically with hot ports",
+        "largest median-occupancy range (Sec 6.4)",
+        slopes["hadoop"] > max(slopes["web"], slopes["cache"]),
+    )
+    return result

@@ -1,0 +1,57 @@
+"""Fig 1: drop rate vs. utilization across ToR-server links.
+
+The paper samples every ToR-server link once per hour (a random 4-minute
+interval) for 24 hours and finds drop rate nearly uncorrelated with
+average utilization (r = 0.098) — the motivating observation that
+congestion lives below SNMP granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.correlation import pearson_correlation
+from repro.data.published import PAPER
+from repro.experiments.common import ExperimentResult
+from repro.synth.dropmodel import CoarseLinkPopulation
+
+
+def run(
+    seed: int = 0,
+    n_links: int = 2000,
+    samples_per_link: int = 24,
+) -> ExperimentResult:
+    """Generate the scatter and report the correlation coefficient."""
+    rng = np.random.default_rng(seed)
+    population = CoarseLinkPopulation()
+    n = n_links * samples_per_link
+    utilization, drops = population.sample_links(n, rng)
+    corr = pearson_correlation(utilization, drops)
+
+    result = ExperimentResult(
+        experiment_id="fig1",
+        title="Drop rate vs utilization (4-minute SNMP granularity)",
+    )
+    result.add("utilization/drop correlation", PAPER.fig1_utilization_drop_correlation, round(corr, 3))
+    result.add("link-intervals sampled", "all ToR-server links x 24h", n)
+    result.add(
+        "links with zero drops",
+        "many (drops are episodic)",
+        round(float((drops == 0).mean()), 3),
+    )
+    result.add(
+        "utilization range observed",
+        "wide (Fig 1 x-axis)",
+        f"{utilization.min():.3f}-{utilization.max():.3f}",
+    )
+    # Export a coarse scatter (decimated) as a series for inspection.
+    keep = rng.choice(n, size=min(500, n), replace=False)
+    result.add_series(
+        "scatter_util_droprate",
+        [(float(utilization[i]), float(drops[i])) for i in sorted(keep)],
+    )
+    result.notes.append(
+        "weak correlation arises because drop propensity is driven by an "
+        "independent burstiness factor, not by average load"
+    )
+    return result

@@ -1,0 +1,37 @@
+"""Simulation clock.
+
+A thin mutable wrapper around the current simulation time so that every
+component observes a single consistent notion of "now".  Time is integer
+nanoseconds (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+
+class SimClock:
+    """Monotonically advancing integer-nanosecond clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise SchedulingError(f"clock cannot start at negative time {start_ns}")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def advance_to(self, time_ns: int) -> None:
+        """Move the clock forward; rejects travel into the past."""
+        if time_ns < self._now:
+            raise SchedulingError(
+                f"cannot advance clock backwards from {self._now} to {time_ns}"
+            )
+        self._now = int(time_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now}ns)"

@@ -1,0 +1,102 @@
+"""Discrete-event simulation engine.
+
+The engine owns the clock and the event queue and runs callbacks in time
+order.  Components (links, ports, hosts, samplers) schedule themselves
+through :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SchedulingError, SimulationError
+from repro.netsim.clock import SimClock
+from repro.netsim.events import Event, EventQueue
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random generator.  Components that
+        need randomness should draw from :attr:`rng` (or from generators
+        spawned off it) so a single seed reproduces the whole run.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = 0) -> None:
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+        self._events_processed = 0
+        self._running = False
+
+    # -- scheduling --------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay_ns: int, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` after ``delay_ns`` relative to now."""
+        if delay_ns < 0:
+            raise SchedulingError(f"negative delay {delay_ns}")
+        return self.queue.push(self.clock.now + int(delay_ns), action)
+
+    def schedule_at(self, time_ns: int, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute time ``time_ns`` (>= now)."""
+        if time_ns < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule at {time_ns} before now={self.clock.now}"
+            )
+        return self.queue.push(int(time_ns), action)
+
+    def spawn_rng(self) -> np.random.Generator:
+        """Derive an independent generator (for per-component streams)."""
+        return np.random.default_rng(self.rng.integers(0, 2**63 - 1))
+
+    # -- execution ---------------------------------------------------------
+
+    def run_until(self, end_ns: int, max_events: int | None = None) -> int:
+        """Process events up to and including ``end_ns``.
+
+        Returns the number of events processed during this call.  The
+        clock always finishes at exactly ``end_ns`` so periodic samplers
+        and traffic sources observe a consistent end-of-run time.
+        """
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > end_ns:
+                    break
+                event = self.queue.pop()
+                self.clock.advance_to(event.time_ns)
+                event.action()
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before reaching {end_ns}"
+                    )
+            self.clock.advance_to(end_ns)
+        finally:
+            self._running = False
+        return processed
+
+    def run_for(self, duration_ns: int, max_events: int | None = None) -> int:
+        """Process events for ``duration_ns`` from the current time."""
+        return self.run_until(self.clock.now + int(duration_ns), max_events=max_events)

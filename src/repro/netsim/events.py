@@ -1,0 +1,72 @@
+"""Event queue for the discrete-event engine.
+
+Events are ordered by (time, sequence); the sequence number makes the
+ordering of simultaneous events deterministic (FIFO in scheduling order),
+which keeps whole simulations reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SchedulingError
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    ``cancelled`` events stay in the heap but are skipped when popped;
+    this is the standard lazy-deletion trick and keeps cancellation O(1).
+    """
+
+    time_ns: int
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time_ns: int, action: Action) -> Event:
+        """Schedule ``action`` at absolute time ``time_ns``."""
+        if time_ns < 0:
+            raise SchedulingError(f"cannot schedule event at negative time {time_ns}")
+        event = Event(time_ns=int(time_ns), seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SchedulingError("pop from empty event queue")
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest live event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time_ns

@@ -1,0 +1,162 @@
+"""Aggregation/spine fabric cloud.
+
+The paper studies ToR switches only (Sec 4.2); the fabric and spine tiers
+matter to the ToR only as (a) a sink for uplink egress traffic, (b) a
+source of uplink ingress traffic whose spreading across the four uplinks
+mirrors the spine's own ECMP, and (c) a latency in the request/response
+path.  ``FabricCloud`` models exactly that: remote hosts attach to it
+directly, and per-uplink paced queues deliver fabric->ToR traffic at
+uplink line rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigError, SimulationError
+from repro.netsim.ecmp import EcmpHasher
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.units import serialization_time_ns, us
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.host import Server
+
+
+class _PacedQueue:
+    """FIFO paced at a fixed rate with tail drop (fabric egress to ToR)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        capacity_bytes: int,
+        deliver: Callable[[Packet], None],
+    ) -> None:
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.capacity_bytes = capacity_bytes
+        self.deliver = deliver
+        self._queue: deque[Packet] = deque()
+        self._backlog = 0
+        self._busy = False
+        self.drops = 0
+        self.tx_bytes = 0
+
+    def offer(self, packet: Packet) -> bool:
+        if self._backlog + packet.size_bytes > self.capacity_bytes:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self._backlog += packet.size_bytes
+        if not self._busy:
+            self._pump()
+        return True
+
+    def _pump(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        self._backlog -= packet.size_bytes
+        self.tx_bytes += packet.size_bytes
+        done = self.sim.now + serialization_time_ns(packet.size_bytes, self.rate_bps)
+        self.sim.schedule_at(done, lambda: self._emit(packet))
+
+    def _emit(self, packet: Packet) -> None:
+        self.deliver(packet)
+        self._pump()
+
+
+class FabricCloud:
+    """Everything beyond the rack's four uplinks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_uplinks: int,
+        uplink_rate_bps: float,
+        latency_ns: int = us(25),
+        uplink_queue_bytes: int = 2 * 1024 * 1024,
+        ecmp_salt: int = 1,
+    ) -> None:
+        if latency_ns < 0:
+            raise ConfigError("fabric latency cannot be negative")
+        self.sim = sim
+        self.latency_ns = int(latency_ns)
+        self._remote_hosts: dict[str, "Server"] = {}
+        self._tor_delivery: Callable[[int, Packet], None] | None = None
+        self._rack_hosts: set[str] = set()
+        # The spine's hash choice is independent of the ToR's, hence a
+        # different salt: the same flow may use different uplinks in the
+        # two directions, as in real Clos fabrics.
+        self._ecmp = EcmpHasher(n_uplinks, mode="flow", salt=ecmp_salt)
+        self._to_tor = [
+            _PacedQueue(
+                sim,
+                uplink_rate_bps,
+                uplink_queue_bytes,
+                deliver=self._make_tor_deliver(i),
+            )
+            for i in range(n_uplinks)
+        ]
+
+    # -- wiring ---------------------------------------------------------------
+
+    def connect_tor(
+        self, rack_hosts: list[str], deliver: Callable[[int, Packet], None]
+    ) -> None:
+        """Register the rack's ToR: its host list and ingress callback."""
+        if self._tor_delivery is not None:
+            raise ConfigError("fabric already connected to a ToR")
+        self._tor_delivery = deliver
+        self._rack_hosts = set(rack_hosts)
+
+    def attach_remote(self, server: "Server") -> None:
+        if server.name in self._remote_hosts or server.name in self._rack_hosts:
+            raise ConfigError(f"duplicate host name {server.name!r}")
+        self._remote_hosts[server.name] = server
+
+    def _make_tor_deliver(self, uplink_index: int) -> Callable[[Packet], None]:
+        def deliver(packet: Packet) -> None:
+            if self._tor_delivery is None:
+                raise SimulationError("fabric delivering to unconnected ToR")
+            self._tor_delivery(uplink_index, packet)
+
+        return deliver
+
+    # -- data path --------------------------------------------------------------
+
+    def receive_from_tor(self, packet: Packet) -> None:
+        """A packet leaving the rack via an uplink."""
+        host = self._remote_hosts.get(packet.flow.dst_host)
+        if host is None:
+            raise SimulationError(
+                f"fabric has no remote host {packet.flow.dst_host!r}"
+            )
+        self.sim.schedule(self.latency_ns, lambda: host.receive(packet))
+
+    def receive_from_remote(self, packet: Packet) -> None:
+        """A packet sent by a remote host."""
+        dst = packet.flow.dst_host
+        if dst in self._rack_hosts:
+            uplink = self._ecmp.choose(packet.flow)
+            queue = self._to_tor[uplink]
+            self.sim.schedule(self.latency_ns, lambda: queue.offer(packet))
+        elif dst in self._remote_hosts:
+            host = self._remote_hosts[dst]
+            self.sim.schedule(self.latency_ns, lambda: host.receive(packet))
+        else:
+            raise SimulationError(f"fabric has no route to {dst!r}")
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def uplink_queue_drops(self) -> list[int]:
+        return [queue.drops for queue in self._to_tor]
+
+    @property
+    def remote_host_names(self) -> list[str]:
+        return sorted(self._remote_hosts)

@@ -1,0 +1,62 @@
+"""Point-to-point link model.
+
+A link carries packets from a sender to a receiver callback with
+serialization delay (size / rate) followed by propagation delay.  The
+link itself never queues: queueing happens in the egress port (switch
+side) or NIC (host side) feeding it, which is where the paper's counters
+live.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.units import serialization_time_ns
+
+Receiver = Callable[[Packet], None]
+
+
+class Link:
+    """Unidirectional link; build two for a full-duplex cable."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        propagation_ns: int = 500,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigError(f"link {name!r} needs positive rate, got {rate_bps}")
+        if propagation_ns < 0:
+            raise ConfigError(f"link {name!r} negative propagation delay")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.propagation_ns = int(propagation_ns)
+        self._receiver: Receiver | None = None
+
+    def connect(self, receiver: Receiver) -> None:
+        if self._receiver is not None:
+            raise ConfigError(f"link {self.name!r} already connected")
+        self._receiver = receiver
+
+    def serialization_ns(self, packet: Packet) -> int:
+        return serialization_time_ns(packet.size_bytes, self.rate_bps)
+
+    def transmit(self, packet: Packet) -> int:
+        """Start transmitting ``packet`` now.
+
+        Returns the time at which the sender's transmitter frees up
+        (end of serialization).  Delivery to the receiver happens one
+        propagation delay later.
+        """
+        if self._receiver is None:
+            raise ConfigError(f"link {self.name!r} transmit before connect")
+        done_ns = self.sim.now + self.serialization_ns(packet)
+        receiver = self._receiver
+        self.sim.schedule_at(done_ns + self.propagation_ns, lambda: receiver(packet))
+        return done_ns

@@ -1,0 +1,229 @@
+"""Multi-rack pods: several ToRs sharing one fabric.
+
+The single-rack topology models everything beyond the uplinks as a
+cloud.  A pod wires *multiple* racks through one
+:class:`PodFabric`, so cross-rack request/response traffic traverses two
+real ToRs — the web rack's fan-in and the cache rack's uplink bursts
+(Fig 9's two signatures) then emerge from one coupled workload instead
+of being simulated separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SimulationError
+from repro.netsim.ecmp import EcmpHasher
+from repro.netsim.engine import Simulator
+from repro.netsim.fabric import _PacedQueue
+from repro.netsim.host import Server
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.switch import TorSwitch
+from repro.netsim.topology import Rack, RackConfig
+from repro.units import us
+
+
+class PodFabric:
+    """Fabric + spine tiers shared by every rack of a pod."""
+
+    def __init__(self, sim: Simulator, latency_ns: int = us(25), ecmp_salt: int = 17) -> None:
+        if latency_ns < 0:
+            raise ConfigError("fabric latency cannot be negative")
+        self.sim = sim
+        self.latency_ns = int(latency_ns)
+        self._host_rack: dict[str, str] = {}
+        self._rack_queues: dict[str, list[_PacedQueue]] = {}
+        self._rack_hashers: dict[str, EcmpHasher] = {}
+        self._remote_hosts: dict[str, Server] = {}
+        self._salt = ecmp_salt
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register_rack(
+        self,
+        rack_id: str,
+        hosts: list[str],
+        n_uplinks: int,
+        uplink_rate_bps: float,
+        deliver,
+        queue_bytes: int = 2 * 1024 * 1024,
+    ) -> None:
+        """Declare a rack: its hosts and its ingress path from the fabric."""
+        if rack_id in self._rack_queues:
+            raise ConfigError(f"rack {rack_id!r} registered twice")
+        for host in hosts:
+            if host in self._host_rack or host in self._remote_hosts:
+                raise ConfigError(f"duplicate host {host!r}")
+            self._host_rack[host] = rack_id
+        self._rack_queues[rack_id] = [
+            _PacedQueue(
+                self.sim,
+                uplink_rate_bps,
+                queue_bytes,
+                deliver=lambda packet, index=index: deliver(index, packet),
+            )
+            for index in range(n_uplinks)
+        ]
+        # distinct downstream hash per rack, all different from ToR hashes
+        self._rack_hashers[rack_id] = EcmpHasher(
+            n_uplinks, mode="flow", salt=self._salt + len(self._rack_hashers)
+        )
+
+    def attach_remote(self, server: Server) -> None:
+        if server.name in self._remote_hosts or server.name in self._host_rack:
+            raise ConfigError(f"duplicate host {server.name!r}")
+        self._remote_hosts[server.name] = server
+
+    # -- data path --------------------------------------------------------------
+
+    def _deliver(self, packet: Packet) -> None:
+        dst = packet.flow.dst_host
+        rack_id = self._host_rack.get(dst)
+        if rack_id is not None:
+            uplink = self._rack_hashers[rack_id].choose(packet.flow)
+            queue = self._rack_queues[rack_id][uplink]
+            self.sim.schedule(self.latency_ns, lambda: queue.offer(packet))
+            return
+        remote = self._remote_hosts.get(dst)
+        if remote is not None:
+            self.sim.schedule(self.latency_ns, lambda: remote.receive(packet))
+            return
+        raise SimulationError(f"pod fabric has no route to {dst!r}")
+
+    def receive_from_tor(self, packet: Packet) -> None:
+        self._deliver(packet)
+
+    def receive_from_remote(self, packet: Packet) -> None:
+        self._deliver(packet)
+
+    @property
+    def rack_ids(self) -> list[str]:
+        return list(self._rack_queues)
+
+
+@dataclass(slots=True)
+class Pod:
+    """A built pod: racks sharing one fabric."""
+
+    sim: Simulator
+    racks: list[Rack]
+    fabric: PodFabric
+    standalone_remotes: list[Server] = field(default_factory=list)
+
+    def rack(self, index: int) -> Rack:
+        return self.racks[index]
+
+    def cross_view(self, index: int) -> Rack:
+        """A Rack whose ``remote_hosts`` are the *other* racks' servers.
+
+        Lets the single-rack workload classes drive cross-rack traffic:
+        a WebWorkload installed on ``cross_view(0)`` fans its RPCs out to
+        the servers of the other racks, through both ToRs.
+        """
+        base = self.racks[index]
+        others: list[Server] = []
+        for other_index, other in enumerate(self.racks):
+            if other_index != index:
+                others.extend(other.servers)
+        others.extend(self.standalone_remotes)
+        return Rack(
+            config=base.config,
+            sim=base.sim,
+            tor=base.tor,
+            servers=base.servers,
+            remote_hosts=others,
+            fabric=base.fabric,
+        )
+
+
+def build_pod(
+    sim: Simulator,
+    rack_configs: list[RackConfig],
+    fabric_latency_ns: int = us(25),
+    n_standalone_remotes: int = 0,
+    remote_rate_bps: float | None = None,
+) -> Pod:
+    """Build several racks wired through one shared fabric.
+
+    Rack names must be unique; ``n_standalone_remotes`` adds fabric-attached
+    hosts outside any rack (front-end users, other-pod peers).
+    """
+    if not rack_configs:
+        raise ConfigError("a pod needs at least one rack")
+    names = [config.name for config in rack_configs]
+    if len(set(names)) != len(names):
+        raise ConfigError("rack names must be unique within a pod")
+
+    fabric = PodFabric(sim, latency_ns=fabric_latency_ns)
+    racks: list[Rack] = []
+    for config in rack_configs:
+        tor = TorSwitch(sim, config.switch)
+        servers: list[Server] = []
+        for index in range(config.switch.n_downlinks):
+            host = f"{config.name}-s{index}"
+            nic_link = Link(
+                sim,
+                name=f"{host}-nic",
+                rate_bps=config.switch.downlink_rate_bps,
+                propagation_ns=config.switch.link_propagation_ns,
+            )
+            server = Server(
+                sim,
+                host,
+                nic_link,
+                rto_ns=config.rto_ns,
+                transport_class=config.transport_class(),
+                pacing_rate_bps=config.pacing_rate_bps,
+            )
+            nic_link.connect(
+                lambda packet, name=host, switch=tor: switch.receive_from_server(
+                    name, packet
+                )
+            )
+            tor.add_downlink(host, server.receive)
+            servers.append(server)
+        for _ in range(config.switch.n_uplinks):
+            tor.add_uplink(fabric.receive_from_tor)
+        fabric.register_rack(
+            config.name,
+            tor.rack_hosts,
+            n_uplinks=config.switch.n_uplinks,
+            uplink_rate_bps=config.switch.uplink_rate_bps,
+            deliver=tor.receive_from_fabric,
+        )
+        racks.append(
+            Rack(
+                config=config,
+                sim=sim,
+                tor=tor,
+                servers=servers,
+                remote_hosts=[],
+                fabric=fabric,  # type: ignore[arg-type] - duck-compatible
+            )
+        )
+
+    standalone: list[Server] = []
+    base = rack_configs[0]
+    rate = remote_rate_bps or base.remote_rate_bps
+    for index in range(n_standalone_remotes):
+        host = f"pod-r{index}"
+        remote_link = Link(
+            sim,
+            name=f"{host}-nic",
+            rate_bps=rate,
+            propagation_ns=base.switch.link_propagation_ns,
+        )
+        remote = Server(
+            sim,
+            host,
+            remote_link,
+            rto_ns=base.rto_ns,
+            transport_class=base.transport_class(),
+            pacing_rate_bps=base.pacing_rate_bps,
+        )
+        remote_link.connect(fabric.receive_from_remote)
+        fabric.attach_remote(remote)
+        standalone.append(remote)
+
+    return Pod(sim=sim, racks=racks, fabric=fabric, standalone_remotes=standalone)

@@ -1,0 +1,60 @@
+"""Packet and flow identity.
+
+A packet in this simulator is a metadata record: the switch model only
+needs sizes and flow identity (for ECMP hashing and counter updates), not
+payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.units import MIN_PACKET, MTU
+
+_packet_ids = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class FiveTuple:
+    """Flow identity used by ECMP flow hashing."""
+
+    src_host: str
+    dst_host: str
+    src_port: int
+    dst_port: int
+    protocol: int = 6  # TCP
+
+    def reversed(self) -> "FiveTuple":
+        """The identity of packets flowing the other way."""
+        return FiveTuple(
+            src_host=self.dst_host,
+            dst_host=self.src_host,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+
+@dataclass(slots=True)
+class Packet:
+    """A simulated packet.
+
+    ``size_bytes`` is the on-wire frame size, which is what the switch
+    byte counters and packet-size histogram bins observe.
+    """
+
+    flow: FiveTuple
+    size_bytes: int
+    created_ns: int
+    seq: int = 0
+    is_ack: bool = False
+    #: ECN Congestion Experienced mark (set by the switch, echoed on acks).
+    ce: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if not MIN_PACKET <= self.size_bytes <= MTU:
+            raise ValueError(
+                f"packet size {self.size_bytes} outside [{MIN_PACKET}, {MTU}]"
+            )

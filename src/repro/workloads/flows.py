@@ -1,0 +1,92 @@
+"""Arrival processes driving application events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.netsim.engine import Simulator
+from repro.units import NS_PER_S
+
+
+@dataclass(slots=True)
+class PoissonArrivals:
+    """Homogeneous Poisson event process.
+
+    Schedules ``fire`` at exponential inter-arrival times until the
+    simulator passes ``until_ns`` (or forever when None).
+    """
+
+    sim: Simulator
+    rate_per_s: float
+    fire: Callable[[], None]
+    rng: np.random.Generator
+    until_ns: int | None = None
+
+    def start(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigError("arrival rate must be positive")
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap_s = self.rng.exponential(1.0 / self.rate_per_s)
+        when = self.sim.now + max(1, round(gap_s * NS_PER_S))
+        if self.until_ns is not None and when >= self.until_ns:
+            return
+        self.sim.schedule_at(when, self._fire_and_reschedule)
+
+    def _fire_and_reschedule(self) -> None:
+        self.fire()
+        self._schedule_next()
+
+
+@dataclass(slots=True)
+class OnOffArrivals:
+    """Bursty arrivals: Poisson bursts of work separated by idle periods.
+
+    During an ON period (exponential duration), events fire at
+    ``on_rate_per_s``; OFF periods (heavy-tailed lognormal) fire nothing.
+    This is the application-level burstiness the paper traces bursts to.
+    """
+
+    sim: Simulator
+    on_rate_per_s: float
+    mean_on_s: float
+    median_off_s: float
+    off_sigma: float
+    fire: Callable[[], None]
+    rng: np.random.Generator
+    until_ns: int | None = None
+
+    def start(self) -> None:
+        if min(self.on_rate_per_s, self.mean_on_s, self.median_off_s) <= 0:
+            raise ConfigError("on/off parameters must be positive")
+        self._begin_on()
+
+    def _begin_on(self) -> None:
+        duration_s = self.rng.exponential(self.mean_on_s)
+        end = self.sim.now + max(1, round(duration_s * NS_PER_S))
+        self._tick(end)
+
+    def _tick(self, on_end_ns: int) -> None:
+        gap_s = self.rng.exponential(1.0 / self.on_rate_per_s)
+        when = self.sim.now + max(1, round(gap_s * NS_PER_S))
+        if self.until_ns is not None and when >= self.until_ns:
+            return
+        if when >= on_end_ns:
+            self._begin_off()
+            return
+        def fire_and_continue() -> None:
+            self.fire()
+            self._tick(on_end_ns)
+        self.sim.schedule_at(when, fire_and_continue)
+
+    def _begin_off(self) -> None:
+        duration_s = self.rng.lognormal(np.log(self.median_off_s), self.off_sigma)
+        when = self.sim.now + max(1, round(duration_s * NS_PER_S))
+        if self.until_ns is not None and when >= self.until_ns:
+            return
+        self.sim.schedule_at(when, self._begin_on)

@@ -1,0 +1,79 @@
+"""Burstiness-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.burstiness import (
+    coefficient_of_variation,
+    hurst_aggregate_variance,
+    idc_curve,
+    index_of_dispersion,
+)
+from repro.errors import AnalysisError
+from repro.synth import APP_PROFILES, OnOffGenerator
+
+
+class TestIdc:
+    def test_poisson_near_one(self, rng):
+        counts = rng.poisson(5.0, 100_000)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.05)
+
+    def test_clustered_far_above_one(self, rng):
+        # on/off modulated counts
+        hot = rng.random(50_000) < 0.05
+        counts = rng.poisson(np.where(hot, 50.0, 0.5))
+        assert index_of_dispersion(counts) > 5.0
+
+    def test_constant_is_zero(self):
+        assert index_of_dispersion(np.full(100, 7.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            index_of_dispersion(np.zeros(10))
+        with pytest.raises(AnalysisError):
+            index_of_dispersion(np.array([1.0]))
+
+    def test_curve_grows_for_correlated_traffic(self, rng):
+        series = OnOffGenerator(APP_PROFILES["hadoop"].downlink).generate(
+            400_000, rng
+        ).utilization
+        curve = idc_curve(series)
+        assert curve[64] > curve[1] * 2  # correlation across scales
+
+    def test_curve_flat_for_iid(self, rng):
+        curve = idc_curve(rng.poisson(5.0, 400_000).astype(float))
+        assert curve[64] == pytest.approx(curve[1], rel=0.3)
+
+    def test_curve_short_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            idc_curve(np.zeros(1))
+
+
+class TestHurst:
+    def test_iid_near_half(self, rng):
+        h = hurst_aggregate_variance(rng.normal(0, 1, 200_000))
+        assert h == pytest.approx(0.5, abs=0.06)
+
+    def test_onoff_traffic_above_half(self, rng):
+        """Heavy-tailed gap traffic is long-range dependent: H > 0.5."""
+        series = OnOffGenerator(APP_PROFILES["web"].downlink).generate(
+            500_000, rng
+        ).utilization
+        h = hurst_aggregate_variance(series)
+        assert h > 0.6
+
+    def test_validation(self, rng):
+        with pytest.raises(AnalysisError):
+            hurst_aggregate_variance(np.ones(1000))
+        with pytest.raises(AnalysisError):
+            hurst_aggregate_variance(rng.normal(0, 1, 10))
+
+
+class TestCov:
+    def test_known_value(self):
+        series = np.array([0.0, 2.0] * 500)
+        assert coefficient_of_variation(series) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation(np.zeros(10))

@@ -1,0 +1,79 @@
+"""Empirical CDF tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.errors import AnalysisError
+
+
+class TestBasics:
+    def test_evaluation(self):
+        cdf = EmpiricalCdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25  # right-continuous: P(X <= 1)
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+
+    def test_vectorized_evaluation(self):
+        cdf = EmpiricalCdf(np.array([1.0, 2.0]))
+        out = cdf(np.array([0.0, 1.5, 3.0]))
+        assert list(out) == [0.0, 0.5, 1.0]
+
+    def test_percentiles(self):
+        cdf = EmpiricalCdf(np.arange(101, dtype=float))
+        assert cdf.median == pytest.approx(50.0)
+        assert cdf.p90 == pytest.approx(90.0)
+        assert cdf.p99 == pytest.approx(99.0)
+        assert cdf.mean == pytest.approx(50.0)
+
+    def test_percentile_bounds(self):
+        cdf = EmpiricalCdf(np.array([1.0, 2.0]))
+        with pytest.raises(AnalysisError):
+            cdf.percentile(101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            EmpiricalCdf(np.array([]))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(AnalysisError):
+            EmpiricalCdf(np.array([1.0, np.nan]))
+
+    def test_values_readonly(self):
+        cdf = EmpiricalCdf(np.array([3.0, 1.0, 2.0]))
+        assert list(cdf.values) == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            cdf.values[0] = 0.0
+
+
+class TestGrid:
+    def test_grid_monotone(self):
+        rng = np.random.default_rng(0)
+        cdf = EmpiricalCdf(rng.lognormal(0, 1, 1000))
+        xs, fs = cdf.grid(50)
+        assert len(xs) == 50
+        assert np.all(np.diff(xs) >= 0)
+        assert fs[0] == 0.0 and fs[-1] == 1.0
+
+    def test_grid_needs_points(self):
+        cdf = EmpiricalCdf(np.array([1.0, 2.0]))
+        with pytest.raises(AnalysisError):
+            cdf.grid(1)
+
+
+class TestKsDistance:
+    def test_identical_samples_zero(self):
+        samples = np.arange(100, dtype=float)
+        assert EmpiricalCdf(samples).ks_distance(EmpiricalCdf(samples)) == 0.0
+
+    def test_disjoint_samples_one(self):
+        a = EmpiricalCdf(np.arange(0, 10, dtype=float))
+        b = EmpiricalCdf(np.arange(100, 110, dtype=float))
+        assert a.ks_distance(b) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = EmpiricalCdf(rng.normal(0, 1, 500))
+        b = EmpiricalCdf(rng.normal(0.5, 1, 500))
+        assert a.ks_distance(b) == pytest.approx(b.ks_distance(a))

@@ -1,0 +1,75 @@
+"""Correlation tests (Fig 1 / Fig 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    block_mean_correlation,
+    mean_offdiagonal,
+    pearson_correlation,
+    pearson_matrix,
+)
+from repro.errors import AnalysisError
+
+
+class TestScalar:
+    def test_perfect_correlation(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson_correlation(rng.random(20_000), rng.random(20_000))) < 0.03
+
+    def test_constant_series_zero_not_nan(self):
+        assert pearson_correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(AnalysisError):
+            pearson_correlation(np.array([1.0]), np.array([2.0]))
+
+
+class TestMatrix:
+    def test_diagonal_ones(self):
+        rng = np.random.default_rng(1)
+        matrix = pearson_matrix(rng.random((100, 5)))
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_constant_column_zeros(self):
+        data = np.column_stack([np.ones(50), np.arange(50.0)])
+        matrix = pearson_matrix(data)
+        assert matrix[0, 1] == 0.0
+        assert matrix[0, 0] == 1.0
+
+    def test_group_structure_detected(self):
+        """Two groups sharing common factors: the Fig 8 cache pattern."""
+        rng = np.random.default_rng(2)
+        f1, f2 = rng.random(5000), rng.random(5000)
+        data = np.column_stack(
+            [f1 + 0.1 * rng.random(5000) for _ in range(3)]
+            + [f2 + 0.1 * rng.random(5000) for _ in range(3)]
+        )
+        matrix = pearson_matrix(data)
+        groups = [[0, 1, 2], [3, 4, 5]]
+        within = block_mean_correlation(matrix, groups)
+        across = matrix[0, 3]
+        assert within > 0.9
+        assert abs(across) < 0.1
+
+    def test_mean_offdiagonal(self):
+        matrix = np.array([[1.0, 0.5], [0.5, 1.0]])
+        assert mean_offdiagonal(matrix) == pytest.approx(0.5)
+
+    def test_block_requires_pairs(self):
+        with pytest.raises(AnalysisError):
+            block_mean_correlation(np.eye(4), [[0], [1]])
+
+    def test_matrix_validation(self):
+        with pytest.raises(AnalysisError):
+            pearson_matrix(np.ones((1, 3)))
+        with pytest.raises(AnalysisError):
+            mean_offdiagonal(np.ones((2, 3)))

@@ -1,0 +1,65 @@
+"""Run-length encoding tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runs import Run, interior_run_lengths, run_lengths, runs_of
+from repro.errors import AnalysisError
+
+
+class TestRunsOf:
+    def test_simple(self):
+        runs = runs_of(np.array([True, True, False, True]))
+        assert runs == [
+            Run(0, 2, True),
+            Run(2, 3, False),
+            Run(3, 4, True),
+        ]
+        assert [r.length for r in runs] == [2, 1, 1]
+
+    def test_empty(self):
+        assert runs_of(np.array([], dtype=bool)) == []
+
+    def test_single_run(self):
+        assert runs_of(np.array([False] * 5)) == [Run(0, 5, False)]
+
+    def test_2d_rejected(self):
+        with pytest.raises(AnalysisError):
+            runs_of(np.zeros((2, 2), dtype=bool))
+
+
+class TestRunLengths:
+    def test_true_runs(self):
+        mask = np.array([1, 1, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        assert list(run_lengths(mask, True)) == [2, 1, 3]
+        assert list(run_lengths(mask, False)) == [1, 2]
+
+    def test_all_same(self):
+        mask = np.ones(7, dtype=bool)
+        assert list(run_lengths(mask, True)) == [7]
+        assert list(run_lengths(mask, False)) == []
+
+    def test_empty(self):
+        assert len(run_lengths(np.array([], dtype=bool), True)) == 0
+
+
+class TestInteriorRuns:
+    def test_boundary_runs_dropped(self):
+        #          [--gap--]burst[gap]burst[--gap--]
+        mask = np.array([0, 0, 1, 0, 1, 0, 0], dtype=bool)
+        # interior False runs: only the middle single gap
+        assert list(interior_run_lengths(mask, False)) == [1]
+        # interior True runs: both bursts are interior (flanked by gaps)
+        assert list(interior_run_lengths(mask, True)) == [1, 1]
+
+    def test_burst_touching_start_dropped(self):
+        mask = np.array([1, 1, 0, 1, 0], dtype=bool)
+        assert list(interior_run_lengths(mask, True)) == [1]
+
+    def test_all_one_value_yields_nothing(self):
+        assert len(interior_run_lengths(np.ones(5, dtype=bool), True)) == 0
+
+    def test_no_interior_runs(self):
+        mask = np.array([1, 0, 1], dtype=bool)
+        assert list(interior_run_lengths(mask, False)) == [1]
+        assert len(interior_run_lengths(mask, True)) == 0

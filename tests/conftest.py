@@ -1,0 +1,37 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import RackConfig, Simulator, TorSwitchConfig, build_rack
+from repro.units import gbps
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def small_rack_config():
+    """A 4-server rack with 2 uplinks: fast enough for unit tests."""
+    return RackConfig(
+        name="t",
+        switch=TorSwitchConfig(
+            n_downlinks=4,
+            downlink_rate_bps=gbps(10),
+            n_uplinks=2,
+            uplink_rate_bps=gbps(10),
+        ),
+        n_remote_hosts=8,
+    )
+
+
+@pytest.fixture
+def small_rack(sim, small_rack_config):
+    return build_rack(sim, small_rack_config)

@@ -1,0 +1,118 @@
+"""Adaptive sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveSampler
+from repro.core.counters import CounterBinding, CounterKind, CounterSpec
+from repro.errors import ConfigError, SamplingError
+from repro.netsim import Simulator
+from repro.units import gbps, ms, us
+
+
+class FakeCounter:
+    """A byte counter scripted to be idle, then bursty, then idle."""
+
+    def __init__(self, sim, rate_bps=gbps(10)):
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.bursts: list[tuple[int, int]] = []  # (start_ns, end_ns)
+
+    def add_burst(self, start_ns, end_ns):
+        self.bursts.append((start_ns, end_ns))
+
+    def read(self) -> int:
+        """Cumulative bytes: line rate inside bursts, 1 % outside."""
+        total = 0.0
+        now = self.sim.now
+        cursor = 0
+        for start, end in sorted(self.bursts):
+            idle = max(0, min(now, start) - cursor)
+            total += 0.01 * self.rate_bps * idle / 8e9
+            if now > start:
+                hot = min(now, end) - start
+                total += self.rate_bps * hot / 8e9
+            cursor = max(cursor, min(now, end))
+        total += 0.01 * self.rate_bps * max(0, now - cursor) / 8e9
+        return int(total)
+
+
+def make_sampler(sim, counter, **overrides):
+    spec = CounterSpec("p.tx_bytes", CounterKind.BYTE, rate_bps=counter.rate_bps)
+    binding = CounterBinding(spec=spec, read=counter.read)
+    config = AdaptiveConfig(**overrides)
+    return AdaptiveSampler(config, [binding], rng=1)
+
+
+class TestEscalation:
+    def test_idle_stays_slow(self):
+        sim = Simulator(seed=1)
+        counter = FakeCounter(sim)
+        sampler = make_sampler(sim, counter)
+        _report, stats = sampler.run_in_sim(sim, ms(10))
+        assert stats.escalations == 0
+        assert stats.fast_polls == 0
+        assert stats.slow_polls > 30
+
+    def test_burst_triggers_fast_polling(self):
+        sim = Simulator(seed=1)
+        counter = FakeCounter(sim)
+        counter.add_burst(ms(2), ms(4))
+        sampler = make_sampler(sim, counter)
+        _report, stats = sampler.run_in_sim(sim, ms(10))
+        assert stats.escalations >= 1
+        assert stats.fast_polls > 20
+
+    def test_de_escalates_after_hold(self):
+        sim = Simulator(seed=1)
+        counter = FakeCounter(sim)
+        counter.add_burst(ms(1), ms(2))
+        sampler = make_sampler(sim, counter, hold_ns=us(200))
+        _report, stats = sampler.run_in_sim(sim, ms(20))
+        # long idle tail after the burst -> mostly slow polls overall
+        assert stats.slow_polls > stats.fast_polls
+
+    def test_duty_cycle_below_always_fast(self):
+        sim = Simulator(seed=1)
+        counter = FakeCounter(sim)
+        counter.add_burst(ms(3), ms(4))
+        sampler = make_sampler(sim, counter)
+        _report, stats = sampler.run_in_sim(sim, ms(20))
+        assert stats.duty_cycle(sampler.config) < 0.5
+
+    def test_burst_interior_captured_at_fast_interval(self):
+        sim = Simulator(seed=1)
+        counter = FakeCounter(sim)
+        counter.add_burst(ms(2), ms(3))
+        sampler = make_sampler(sim, counter)
+        report, _stats = sampler.run_in_sim(sim, ms(6))
+        trace = report.traces["p.tx_bytes"]
+        inside = (trace.timestamps_ns > ms(2)) & (trace.timestamps_ns < ms(3))
+        gaps = np.diff(trace.timestamps_ns[inside])
+        assert len(gaps) > 5
+        # interior sampled near the fast interval, not the slow one
+        assert np.median(gaps) < us(80)
+
+
+class TestValidation:
+    def test_fast_must_be_faster(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(fast_interval_ns=us(100), slow_interval_ns=us(50))
+
+    def test_trigger_range(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(trigger_utilization=1.5)
+
+    def test_hold_covers_fast(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(hold_ns=us(1))
+
+    def test_primary_needs_rate(self):
+        spec = CounterSpec("x", CounterKind.DROP)
+        binding = CounterBinding(spec=spec, read=lambda: 0)
+        with pytest.raises(SamplingError):
+            AdaptiveSampler(AdaptiveConfig(), [binding])
+
+    def test_empty_bindings(self):
+        with pytest.raises(SamplingError):
+            AdaptiveSampler(AdaptiveConfig(), [])

@@ -1,0 +1,95 @@
+"""Measurement campaign tests (Sec 4.2 discipline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignPlan, CampaignWindow, MeasurementCampaign
+from repro.core.samples import CounterTrace, ValueKind
+from repro.errors import ConfigError
+from repro.units import seconds
+
+
+def racks():
+    return [(f"web{i}", "web") for i in range(3)] + [(f"hadoop{i}", "hadoop") for i in range(2)]
+
+
+def choose_port(rack_id, rng):
+    return f"down{int(rng.integers(4))}"
+
+
+@pytest.fixture
+def plan(rng):
+    return CampaignPlan.generate(racks(), choose_port, rng, hours=24)
+
+
+class TestPlanGeneration:
+    def test_one_window_per_rack_hour(self, plan):
+        assert len(plan.windows) == 5 * 24
+
+    def test_windows_fit_their_hour(self, plan):
+        hour_ns = seconds(3600)
+        for window in plan.windows:
+            assert window.hour * hour_ns <= window.start_ns
+            assert window.end_ns <= (window.hour + 1) * hour_ns
+
+    def test_one_port_per_rack(self, plan):
+        ports = {}
+        for window in plan.windows:
+            ports.setdefault(window.rack_id, set()).add(window.port_name)
+        assert all(len(ps) == 1 for ps in ports.values())
+
+    def test_random_offsets_vary(self, plan):
+        offsets = {w.start_ns % seconds(3600) for w in plan.windows}
+        assert len(offsets) > 10
+
+    def test_windows_for_type(self, plan):
+        assert len(plan.windows_for_type("web")) == 3 * 24
+        assert len(plan.windows_for_type("hadoop")) == 2 * 24
+
+    def test_total_measured_seconds(self, plan):
+        assert plan.total_measured_seconds == pytest.approx(120 * 120)
+
+    def test_paper_scale_plan(self, rng):
+        """The paper: 30 racks x 24 hours = 720 two-minute windows."""
+        paper_racks = [(f"r{i}", "web") for i in range(30)]
+        plan = CampaignPlan.generate(paper_racks, choose_port, rng)
+        assert len(plan.windows) == 720
+        assert plan.total_measured_seconds == pytest.approx(720 * 120)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigError):
+            CampaignPlan.generate(racks(), choose_port, rng, hours=0)
+        with pytest.raises(ConfigError):
+            CampaignPlan.generate(
+                racks(), choose_port, rng, window_duration_ns=seconds(7200)
+            )
+
+
+class FakeSource:
+    def __init__(self):
+        self.calls = []
+
+    def sample_window(self, window: CampaignWindow):
+        self.calls.append(window)
+        trace = CounterTrace.regular(
+            25_000,
+            np.arange(10, dtype=np.int64),
+            ValueKind.CUMULATIVE,
+            name=window.port_name,
+            rate_bps=10e9,
+            start_ns=window.start_ns,
+        )
+        return {window.port_name: trace}
+
+
+class TestExecution:
+    def test_run_visits_every_window(self, plan):
+        source = FakeSource()
+        result = MeasurementCampaign(plan, source).run()
+        assert len(source.calls) == len(plan.windows)
+        assert len(result.traces) == len(plan.windows)
+
+    def test_by_type_filters(self, plan):
+        result = MeasurementCampaign(plan, FakeSource()).run()
+        assert len(result.by_type("web")) == 3 * 24
+        assert len(list(result.iter_windows())) == len(plan.windows)

@@ -1,0 +1,75 @@
+"""Counter spec / binding tests."""
+
+import pytest
+
+from repro.core.counters import (
+    CostClass,
+    CounterKind,
+    CounterSpec,
+    bind_all_tx_bytes,
+    bind_peak_buffer,
+    bind_rx_bytes,
+    bind_tx_bytes,
+    bind_tx_drops,
+    bind_tx_size_hist,
+    validate_group,
+)
+from repro.core.samples import ValueKind
+from repro.errors import CounterError
+from repro.netsim import SwitchCounterSurface
+from repro.units import ms
+
+
+class TestSpecs:
+    def test_cost_classes(self):
+        assert CounterSpec("a", CounterKind.BYTE).cost_class is CostClass.REGISTER
+        assert CounterSpec("b", CounterKind.PEAK_BUFFER).cost_class is CostClass.MEMORY
+
+    def test_value_kinds(self):
+        assert CounterSpec("a", CounterKind.BYTE).value_kind is ValueKind.CUMULATIVE
+        assert CounterSpec("b", CounterKind.PEAK_BUFFER).value_kind is ValueKind.GAUGE
+
+    def test_validate_group_rejects_duplicates(self):
+        from repro.core.counters import CounterBinding
+
+        spec = CounterSpec("x", CounterKind.BYTE)
+        a = CounterBinding(spec=spec, read=lambda: 0)
+        b = CounterBinding(spec=spec, read=lambda: 1)
+        with pytest.raises(CounterError):
+            validate_group([a, b])
+
+
+class TestBindings:
+    @pytest.fixture
+    def surface(self, sim, small_rack):
+        small_rack.servers[0].send_flow(small_rack.servers[1].name, 30_000)
+        sim.run_for(ms(10))
+        return SwitchCounterSurface(small_rack.tor)
+
+    def test_tx_bytes_binding(self, surface):
+        binding = bind_tx_bytes(surface, "down1")
+        assert binding.spec.name == "down1.tx_bytes"
+        assert binding.spec.rate_bps == surface.port_rate_bps("down1")
+        assert binding.read() >= 30_000
+
+    def test_rx_bytes_binding(self, surface):
+        assert bind_rx_bytes(surface, "down0").read() >= 30_000
+
+    def test_drops_binding(self, surface):
+        assert bind_tx_drops(surface, "down1").read() == 0
+
+    def test_hist_binding_returns_tuple(self, surface):
+        hist = bind_tx_size_hist(surface, "down1").read()
+        assert isinstance(hist, tuple)
+        assert sum(hist) > 0
+
+    def test_peak_buffer_binding(self, surface):
+        binding = bind_peak_buffer(surface)
+        assert binding.spec.kind is CounterKind.PEAK_BUFFER
+        assert binding.read() > 0
+
+    def test_bind_all_covers_every_port(self, surface):
+        bindings = bind_all_tx_bytes(surface)
+        names = {binding.spec.name for binding in bindings}
+        assert names == {f"{p}.tx_bytes" for p in surface.port_names}
+        validate_group(bindings)  # no duplicates

@@ -1,0 +1,134 @@
+"""High-resolution sampler tests (Table 1 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HighResSampler, SamplerConfig
+from repro.core.counters import CounterBinding, CounterKind, CounterSpec
+from repro.errors import ConfigError, SamplingError
+from repro.netsim import Simulator
+from repro.units import ms, seconds, us
+
+
+def byte_binding(read=lambda: 0, name="p.tx_bytes"):
+    spec = CounterSpec(name=name, kind=CounterKind.BYTE, rate_bps=10e9)
+    return CounterBinding(spec=spec, read=read)
+
+
+class TestTimingOnly:
+    def test_table1_miss_rates(self):
+        """The headline Table 1 reproduction."""
+        expectations = {us(1): (0.95, 1.0), us(10): (0.05, 0.18), us(25): (0.003, 0.03)}
+        for interval, (low, high) in expectations.items():
+            sampler = HighResSampler(
+                SamplerConfig(interval_ns=interval), [byte_binding()], rng=7
+            )
+            stats = sampler.simulate_timing(seconds(1))
+            assert low <= stats.miss_rate <= high, f"interval {interval}"
+
+    def test_miss_rate_monotone_in_interval(self):
+        rates = []
+        for interval in (us(5), us(10), us(20), us(40)):
+            sampler = HighResSampler(
+                SamplerConfig(interval_ns=interval), [byte_binding()], rng=3
+            )
+            rates.append(sampler.simulate_timing(seconds(0.5)).miss_rate)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_deterministic_for_seed(self):
+        def miss(seed):
+            sampler = HighResSampler(
+                SamplerConfig(interval_ns=us(10)), [byte_binding()], rng=seed
+            )
+            return sampler.simulate_timing(seconds(0.2)).miss_rate
+
+        assert miss(5) == miss(5)
+
+    def test_duration_too_short_rejected(self):
+        sampler = HighResSampler(SamplerConfig(interval_ns=us(25)), [byte_binding()])
+        with pytest.raises(SamplingError):
+            sampler.simulate_timing(us(10))
+
+    def test_negative_duration_rejected(self):
+        sampler = HighResSampler(SamplerConfig(interval_ns=us(25)), [byte_binding()])
+        with pytest.raises(ConfigError):
+            sampler.simulate_timing(0)
+
+    def test_scheduled_counts_cover_duration(self):
+        sampler = HighResSampler(SamplerConfig(interval_ns=us(25)), [byte_binding()], rng=1)
+        stats = sampler.simulate_timing(seconds(1))
+        assert stats.scheduled == 40_000
+        assert stats.taken <= stats.scheduled
+
+
+class TestLiveMode:
+    def test_samples_read_live_counter(self):
+        sim = Simulator(seed=1)
+        counter = {"value": 0}
+        sim.schedule(0, lambda: None)
+
+        def tick():
+            counter["value"] += 3125  # bytes per us at 25 Gbps... arbitrary ramp
+            sim.schedule(us(1), tick)
+
+        sim.schedule(us(1), tick)
+        sampler = HighResSampler(
+            SamplerConfig(interval_ns=us(25)),
+            [byte_binding(read=lambda: counter["value"])],
+            rng=2,
+        )
+        report = sampler.run_in_sim(sim, ms(5))
+        trace = report.traces["p.tx_bytes"]
+        assert len(trace) > 150
+        # cumulative & monotone
+        assert np.all(np.diff(trace.values) >= 0)
+        # timestamps strictly increasing, close to 25 us apart typically
+        gaps = np.diff(trace.timestamps_ns)
+        assert np.median(gaps) == pytest.approx(us(25), rel=0.2)
+
+    def test_miss_preserves_totals(self):
+        """Bytes are never lost across missed intervals."""
+        sim = Simulator(seed=1)
+        counter = {"value": 0}
+
+        def tick():
+            counter["value"] += 100
+            sim.schedule(us(5), tick)
+
+        sim.schedule(us(5), tick)
+        sampler = HighResSampler(
+            SamplerConfig(interval_ns=us(25)),
+            [byte_binding(read=lambda: counter["value"])],
+            rng=4,
+        )
+        report = sampler.run_in_sim(sim, ms(20))
+        trace = report.traces["p.tx_bytes"]
+        assert trace.deltas().sum() == trace.values[-1] - trace.values[0]
+
+    def test_report_includes_cpu_utilization(self):
+        sim = Simulator(seed=1)
+        sampler = HighResSampler(SamplerConfig(interval_ns=us(25)), [byte_binding()], rng=2)
+        report = sampler.run_in_sim(sim, ms(1))
+        assert 0.0 < report.cpu_utilization <= 1.0
+
+    def test_multi_counter_group_polled_together(self):
+        sim = Simulator(seed=1)
+        bindings = [
+            byte_binding(name="a.tx_bytes"),
+            byte_binding(name="b.tx_bytes"),
+        ]
+        sampler = HighResSampler(SamplerConfig(interval_ns=us(50)), bindings, rng=2)
+        report = sampler.run_in_sim(sim, ms(5))
+        a = report.traces["a.tx_bytes"]
+        b = report.traces["b.tx_bytes"]
+        assert np.array_equal(a.timestamps_ns, b.timestamps_ns)
+
+
+class TestValidation:
+    def test_empty_bindings_rejected(self):
+        with pytest.raises(SamplingError):
+            HighResSampler(SamplerConfig(), [])
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            SamplerConfig(interval_ns=0)

@@ -1,0 +1,86 @@
+"""Trace archive persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.samples import CounterTrace, ValueKind
+from repro.core.traceio import load_traces, save_traces
+from repro.errors import DataFormatError
+from repro.units import gbps, us
+
+
+def sample_traces():
+    byte_trace = CounterTrace.regular(
+        us(25),
+        np.cumsum(np.arange(10)).astype(np.int64),
+        ValueKind.CUMULATIVE,
+        name="down0.tx_bytes",
+        rate_bps=gbps(10),
+    )
+    gauge = CounterTrace.regular(
+        us(50),
+        np.array([3, 9, 1], dtype=np.int64),
+        ValueKind.GAUGE,
+        name="shared_buffer.peak",
+    )
+    hist = CounterTrace.regular(
+        us(25),
+        np.cumsum(np.ones((4, 6), dtype=np.int64), axis=0),
+        ValueKind.CUMULATIVE,
+        name="down0.tx_size_hist",
+    )
+    return {t.name: t for t in (byte_trace, gauge, hist)}
+
+
+class TestRoundTrip:
+    def test_all_fields_preserved(self, tmp_path):
+        path = tmp_path / "window.npz"
+        original = sample_traces()
+        save_traces(path, original)
+        loaded = load_traces(path)
+        assert set(loaded) == set(original)
+        for name, trace in original.items():
+            restored = loaded[name]
+            assert np.array_equal(restored.timestamps_ns, trace.timestamps_ns)
+            assert np.array_equal(restored.values, trace.values)
+            assert restored.kind is trace.kind
+            assert restored.rate_bps == trace.rate_bps
+
+    def test_histogram_shape_preserved(self, tmp_path):
+        path = tmp_path / "window.npz"
+        save_traces(path, sample_traces())
+        loaded = load_traces(path)
+        assert loaded["down0.tx_size_hist"].values.shape == (4, 6)
+
+    def test_derived_statistics_survive(self, tmp_path):
+        path = tmp_path / "window.npz"
+        original = sample_traces()
+        save_traces(path, original)
+        loaded = load_traces(path)
+        assert np.allclose(
+            loaded["down0.tx_bytes"].utilization(),
+            original["down0.tx_bytes"].utilization(),
+        )
+
+
+class TestValidation:
+    def test_empty_archive_rejected(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            save_traces(tmp_path / "x.npz", {})
+
+    def test_key_name_mismatch_rejected(self, tmp_path):
+        traces = sample_traces()
+        renamed = {"wrong": traces["down0.tx_bytes"]}
+        with pytest.raises(DataFormatError):
+            save_traces(tmp_path / "x.npz", renamed)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.arange(5))
+        with pytest.raises(DataFormatError):
+            load_traces(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "w.npz"
+        save_traces(path, sample_traces())
+        assert path.exists()

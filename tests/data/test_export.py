@@ -1,0 +1,68 @@
+"""Export / compare pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.export import compare_directory, export_distributions
+from repro.data.io import read_distribution
+from repro.errors import DataFormatError
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    out = tmp_path_factory.mktemp("dists")
+    paths = export_distributions(out, seed=0, n_windows=6, window_s=1.0)
+    return out, paths
+
+
+class TestExport:
+    def test_writes_nine_files(self, exported):
+        _out, paths = exported
+        assert len(paths) == 9  # 3 figures x 3 apps
+        names = {p.name for p in paths}
+        assert "fig3_web.dist" in names
+        assert "fig6_hadoop.dist" in names
+
+    def test_files_parse_and_validate(self, exported):
+        _out, paths = exported
+        for path in paths:
+            dist = read_distribution(path)
+            assert dist.cdf[-1] == pytest.approx(1.0)
+            assert dist.figure in ("fig3", "fig4", "fig6")
+
+    def test_fig3_landmarks_in_export(self, exported):
+        out, _paths = exported
+        web = read_distribution(out / "fig3_web.dist")
+        # p90 burst duration ~50 us (two periods)
+        assert web.percentile(0.9) <= 75.0
+
+
+class TestCompare:
+    def test_same_seed_near_perfect(self, exported):
+        out, _paths = exported
+        reports = compare_directory(out, seed=0, n_windows=6, window_s=1.0)
+        assert len(reports) == 9
+        for report in reports:
+            assert report["ks_distance"] < 0.02
+
+    def test_cross_seed_still_close(self, exported):
+        out, _paths = exported
+        reports = compare_directory(out, seed=99, n_windows=6, window_s=1.0)
+        for report in reports:
+            assert report["ks_distance"] < 0.15
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            compare_directory(tmp_path)
+
+
+class TestCliExportCompare:
+    def test_cli_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["export", "--dir", str(tmp_path), "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert main(["compare", "--dir", str(tmp_path), "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "KS" in out

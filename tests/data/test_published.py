@@ -1,0 +1,46 @@
+"""Published-target sanity tests."""
+
+import pytest
+
+from repro.data.published import APPS, PAPER, Table2Entry
+
+
+def test_table2_complete():
+    assert set(PAPER.table2) == set(APPS)
+    for entry in PAPER.table2.values():
+        assert 0 < entry.p01 < entry.p11 < 1
+
+
+def test_table2_ratios_consistent():
+    """The paper's Eqs 1-3 must follow from its own Table 2 values."""
+    for app, expected in (("web", 119.7), ("cache", 45.1), ("hadoop", 15.6)):
+        entry = PAPER.table2[app]
+        assert entry.p11 / entry.p01 == pytest.approx(expected, rel=0.01)
+
+
+def test_table2_row_complements():
+    entry = Table2Entry(p01=0.01, p11=0.7, likelihood_ratio=70.0)
+    assert entry.p00 == pytest.approx(0.99)
+    assert entry.p10 == pytest.approx(0.3)
+
+
+def test_campaign_arithmetic():
+    assert (
+        PAPER.campaign_racks_per_app * 3 * PAPER.campaign_hours
+        == PAPER.campaign_total_windows
+    )
+
+
+def test_sampling_targets_ordered():
+    rates = PAPER.tab1_miss_rates
+    assert rates[1_000] > rates[10_000] > rates[25_000]
+
+
+def test_fig9_shares_ordered():
+    shares = PAPER.fig9_uplink_share
+    assert shares["web"] < shares["hadoop"] < shares["cache"]
+
+
+def test_fig3_p90_bounds():
+    assert PAPER.fig3_p90_burst_duration_ns["web"] == 50_000
+    assert all(v <= 200_000 for v in PAPER.fig3_p90_burst_duration_ns.values())

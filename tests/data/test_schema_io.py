@@ -1,0 +1,101 @@
+"""Distribution-file schema and IO tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import distribution_from_samples, read_distribution, write_distribution
+from repro.data.schema import DistributionFile
+from repro.errors import DataFormatError
+
+
+def sample_dist():
+    return DistributionFile(
+        figure="fig3",
+        app="web",
+        unit="us",
+        x=np.array([25.0, 50.0, 100.0, 200.0]),
+        cdf=np.array([0.6, 0.8, 0.95, 1.0]),
+    )
+
+
+class TestSchema:
+    def test_percentile_interpolation(self):
+        dist = sample_dist()
+        assert dist.percentile(0.6) == pytest.approx(25.0)
+        assert dist.percentile(0.7) == pytest.approx(37.5)
+        assert dist.percentile(1.0) == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(DataFormatError):
+            DistributionFile("f", "a", "u", np.array([1.0]), np.array([1.0]))
+        with pytest.raises(DataFormatError):
+            DistributionFile(
+                "f", "a", "u", np.array([2.0, 1.0]), np.array([0.5, 1.0])
+            )
+        with pytest.raises(DataFormatError):
+            DistributionFile(
+                "f", "a", "u", np.array([1.0, 2.0]), np.array([0.9, 0.5])
+            )
+        with pytest.raises(DataFormatError):
+            DistributionFile(
+                "f", "a", "u", np.array([1.0, 2.0]), np.array([0.5, 1.5])
+            )
+
+    def test_bad_quantile(self):
+        with pytest.raises(DataFormatError):
+            sample_dist().percentile(1.5)
+
+
+class TestIo:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "fig3_web.dist"
+        write_distribution(path, sample_dist())
+        loaded = read_distribution(path)
+        assert loaded.figure == "fig3"
+        assert loaded.app == "web"
+        assert loaded.unit == "us"
+        assert np.allclose(loaded.x, sample_dist().x)
+        assert np.allclose(loaded.cdf, sample_dist().cdf)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.dist"
+        path.write_text("1 0.5\n2 1.0\n")
+        with pytest.raises(DataFormatError):
+            read_distribution(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.dist"
+        path.write_text("# imc2017-distribution v99\n# figure: f\n# app: a\n# unit: u\n1 1\n2 1\n")
+        with pytest.raises(DataFormatError):
+            read_distribution(path)
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        path = tmp_path / "bad.dist"
+        path.write_text("# imc2017-distribution v1\n# figure: f\n1 0.5\n2 1.0\n")
+        with pytest.raises(DataFormatError):
+            read_distribution(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.dist"
+        path.write_text(
+            "# imc2017-distribution v1\n# figure: f\n# app: a\n# unit: u\n1 2 3\n"
+        )
+        with pytest.raises(DataFormatError):
+            read_distribution(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.dist"
+        path.write_text(
+            "# imc2017-distribution v1\n# figure: f\n# app: a\n# unit: u\nx y\n"
+        )
+        with pytest.raises(DataFormatError):
+            read_distribution(path)
+
+
+class TestFromSamples:
+    def test_built_from_raw_samples(self, rng):
+        samples = rng.lognormal(3, 1, 5000)
+        dist = distribution_from_samples(samples, "fig4", "cache", "us")
+        assert dist.cdf[0] == 0.0
+        assert dist.cdf[-1] == 1.0
+        assert dist.percentile(0.5) == pytest.approx(np.median(samples), rel=0.05)

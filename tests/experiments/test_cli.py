@@ -1,0 +1,38 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigError
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "tab1" in out
+
+
+def test_single_experiment(capsys):
+    assert main(["fig1", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "correlation" in out
+    assert "completed in" in out
+
+
+def test_series_flag(capsys):
+    main(["fig2", "--seed", "1", "--series"])
+    out = capsys.readouterr().out
+    assert "series" in out
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(ConfigError):
+        main(["fig42"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig3"])
+    assert args.seed == 0
+    assert args.scale == "small"
+    assert not args.series

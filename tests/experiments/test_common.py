@@ -1,0 +1,69 @@
+"""ExperimentResult / CLI plumbing tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import _scale_kwargs
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult
+from repro.netsim import RackConfig
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult(experiment_id="figX", title="Demo")
+        result.add("metric-a", 1.0, np.float64(2.0))
+        result.add("metric-b", "paper says", True)
+        result.add_series("cdf", [(1.0, 0.5), (2.0, 1.0)])
+        result.notes.append("a note")
+        return result
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "figX: Demo" in text
+        assert "metric-a" in text
+        assert "note: a note" in text
+        assert "cdf" not in text  # series only with the flag
+
+    def test_render_with_series(self):
+        text = self.make().render(include_series=True)
+        assert "series cdf:" in text
+
+    def test_to_dict_json_serialisable(self):
+        payload = self.make().to_dict(include_series=True)
+        text = json.dumps(payload)  # must not raise on numpy scalars
+        parsed = json.loads(text)
+        assert parsed["experiment_id"] == "figX"
+        assert parsed["rows"][0]["measured"] == 2.0
+        assert parsed["series"]["cdf"] == [[1.0, 0.5], [2.0, 1.0]]
+
+    def test_to_dict_without_series(self):
+        payload = self.make().to_dict()
+        assert "series" not in payload
+
+
+class TestScaleKwargs:
+    def test_small_scale_is_defaults(self):
+        assert _scale_kwargs("fig3", "small") == {}
+
+    def test_full_scale_known_experiment(self):
+        kwargs = _scale_kwargs("fig3", "full")
+        assert kwargs["n_windows"] > 100
+
+    def test_full_scale_unknown_experiment_empty(self):
+        assert _scale_kwargs("ext-netsim", "full") == {}
+
+
+class TestRackConfigValidation:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigError):
+            RackConfig(transport="cubic")
+
+    def test_transport_class_resolution(self):
+        from repro.netsim.ecn import DctcpTransport
+        from repro.netsim.host import WindowedTransport
+
+        assert RackConfig(transport="reno").transport_class() is WindowedTransport
+        assert RackConfig(transport="dctcp").transport_class() is DctcpTransport

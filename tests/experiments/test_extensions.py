@@ -1,0 +1,90 @@
+"""Extension-experiment tests (Sec 7 implications + failures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.synth.rackmodel import _ecmp_weight_segments
+from repro.errors import ConfigError
+
+
+def rows_dict(result):
+    return {metric: measured for metric, _paper, measured in result.rows}
+
+
+class TestExtCc:
+    def test_microbursts_beat_the_signal(self):
+        result = run_experiment("ext-cc", seed=0, n_windows=6, window_s=1.0)
+        rows = rows_dict(result)
+        # most web bursts end before even a 100 us RTT elapses
+        assert rows["web: bursts over before 1 RTT (100us) elapses"] > 0.8
+        # dctcp holds a shorter steady-state queue than reno
+        reno_peak, dctcp_peak = map(
+            int, str(rows["incast peak buffer: reno -> dctcp"]).split(" -> ")
+        )
+        assert dctcp_peak < reno_peak
+
+
+class TestExtLb:
+    def test_most_gaps_allow_resplit(self):
+        result = run_experiment("ext-lb", seed=0, n_windows=6, window_s=1.0)
+        rows = rows_dict(result)
+        for app in ("web", "cache", "hadoop"):
+            assert rows[f"{app}: gaps exceeding 50us e2e latency"] > 0.4
+
+
+class TestExtPacing:
+    def test_pacing_removes_offload_bursts(self):
+        result = run_experiment("ext-pacing", seed=0)
+        rows = rows_dict(result)
+        unpaced, paced = str(rows["bursts: unpaced -> paced"]).split(" -> ")
+        assert int(unpaced) > 20
+        assert int(paced) < int(unpaced) // 10
+
+
+class TestExtFailures:
+    def test_failure_worsens_imbalance(self):
+        result = run_experiment("ext-failures", seed=0, duration_s=2.0)
+        rows = rows_dict(result)
+        assert rows["imbalance ordering holds"] is True
+        assert rows["one ToR uplink down: median MAD"] > rows["healthy fabric: median MAD @40us"]
+
+
+class TestExtNetsim:
+    def test_cross_validation_shapes(self):
+        result = run_experiment("ext-netsim", seed=0, measure_ms=50.0)
+        rows = {metric: measured for metric, _p, measured in result.rows}
+        for app in ("web", "cache", "hadoop"):
+            net_share, synth_share = map(
+                float, str(rows[f"{app}: µburst share (netsim / synth)"]).split(" / ")
+            )
+            assert net_share > 0.5
+            assert synth_share > 0.9
+
+
+class TestEcmpLinkWeights:
+    def test_zero_weight_link_gets_no_flows(self, rng):
+        shares = _ecmp_weight_segments(
+            5_000, 4, 8, 200.0, 1.0, rng, link_weights=np.array([1.0, 1.0, 1.0, 0.0])
+        )
+        assert shares[:, 3].max() == 0.0
+        assert np.allclose(shares.sum(axis=1), 1.0)
+
+    def test_fractional_weight_reduces_share(self, rng):
+        shares = _ecmp_weight_segments(
+            200_000, 4, 16, 100.0, 1.0, rng,
+            link_weights=np.array([1.0, 1.0, 1.0, 0.25]),
+        )
+        assert shares[:, 3].mean() < shares[:, 0].mean() / 2
+
+    def test_all_zero_weights_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            _ecmp_weight_segments(
+                100, 4, 4, 100.0, 1.0, rng, link_weights=np.zeros(4)
+            )
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            _ecmp_weight_segments(
+                100, 4, 4, 100.0, 1.0, rng, link_weights=np.ones(3)
+            )

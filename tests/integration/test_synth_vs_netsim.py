@@ -1,0 +1,127 @@
+"""Cross-validation: the synthetic generator vs. the packet simulator.
+
+DESIGN.md's substitution argument rests on the synthesiser producing the
+same qualitative trace statistics as the mechanistic packet simulator.
+These tests run both on overlapping scales and compare shape properties
+(not absolute values — the two are calibrated to the paper, not to each
+other).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_bursts_from_trace, fit_transition_matrix
+from repro.analysis.bursts import trace_hot_mask
+from repro.core import HighResSampler, SamplerConfig
+from repro.core.counters import bind_tx_bytes
+from repro.netsim import (
+    RackConfig,
+    Simulator,
+    SwitchCounterSurface,
+    TorSwitchConfig,
+    build_rack,
+)
+from repro.synth import OnOffGenerator, APP_PROFILES
+from repro.synth.rackmodel import utilization_to_byte_trace
+from repro.units import gbps, ms, us
+from repro.workloads import HadoopConfig, HadoopWorkload
+from repro.workloads.distributions import ParetoSizes
+
+
+@pytest.fixture(scope="module")
+def netsim_hadoop_trace():
+    """A hadoop downlink measured on the packet simulator (200 ms)."""
+    sim = Simulator(seed=31)
+    rack = build_rack(
+        sim,
+        RackConfig(
+            name="t",
+            switch=TorSwitchConfig(n_downlinks=8, n_uplinks=4),
+            n_remote_hosts=24,
+        ),
+    )
+    # Moderate transfer sizes: production shuffle fan-out shares each
+    # downlink, so no single flow owns the link for milliseconds; a
+    # bounded Pareto keeps individual transfers under ~2 ms of line rate.
+    config = HadoopConfig(
+        transfer_rate_per_s=20,
+        transfer_size=ParetoSizes(min_bytes=300_000, alpha=2.0, max_bytes=2_000_000),
+    )
+    HadoopWorkload(rack, config, rng=6).install()
+    sim.run_for(ms(40))
+    surface = SwitchCounterSurface(rack.tor)
+    sampler = HighResSampler(
+        SamplerConfig(interval_ns=us(25)), [bind_tx_bytes(surface, "down0")], rng=1
+    )
+    return sampler.run_in_sim(sim, ms(200)).traces["down0.tx_bytes"]
+
+
+@pytest.fixture(scope="module")
+def synth_hadoop_trace():
+    rng = np.random.default_rng(31)
+    series = OnOffGenerator(APP_PROFILES["hadoop"].downlink).generate(8000, rng)
+    return utilization_to_byte_trace(series.utilization, gbps(10), us(25), name="s")
+
+
+class TestSharedShape:
+    def test_both_produce_microbursts(self, netsim_hadoop_trace, synth_hadoop_trace):
+        for trace in (netsim_hadoop_trace, synth_hadoop_trace):
+            stats = extract_bursts_from_trace(trace)
+            assert stats.n_bursts > 3
+            assert stats.microburst_fraction > 0.7
+
+    def test_both_show_correlated_bursts(self, netsim_hadoop_trace, synth_hadoop_trace):
+        """Likelihood ratio >> 1 on both substrates (the Table 2 claim is
+        not an artifact of the generator)."""
+        for trace in (netsim_hadoop_trace, synth_hadoop_trace):
+            mask = trace_hot_mask(trace)
+            if mask.any() and not mask.all():
+                ratio = fit_transition_matrix(mask).likelihood_ratio
+                assert ratio > 3
+
+    def test_duration_scales_overlap(self, netsim_hadoop_trace, synth_hadoop_trace):
+        """Median burst durations agree within an order of magnitude."""
+        net = extract_bursts_from_trace(netsim_hadoop_trace)
+        syn = extract_bursts_from_trace(synth_hadoop_trace)
+        net_median = np.median(net.durations_ns)
+        syn_median = np.median(syn.durations_ns)
+        assert net_median / syn_median < 10
+        assert syn_median / net_median < 10
+
+    def test_multimodal_utilization_on_both(
+        self, netsim_hadoop_trace, synth_hadoop_trace
+    ):
+        """Hadoop utilization is multimodal (Fig 6): mass near zero AND
+        mass near line rate on both substrates."""
+        for trace in (netsim_hadoop_trace, synth_hadoop_trace):
+            util = np.clip(trace.utilization(), 0, 1)
+            assert (util < 0.3).mean() > 0.2
+            assert (util > 0.7).mean() > 0.005
+
+
+class TestEcmpImbalanceOnBoth:
+    def test_netsim_uplinks_unbalanced_at_fine_grain(self):
+        """Flow-hash ECMP in the packet simulator shows the Fig 7 effect;
+        the synthetic ECMP model is tested in tests/synth."""
+        sim = Simulator(seed=17)
+        rack = build_rack(
+            sim,
+            RackConfig(
+                name="t",
+                switch=TorSwitchConfig(n_downlinks=8, n_uplinks=4),
+                n_remote_hosts=24,
+            ),
+        )
+        # few long flows -> hadoop-style imbalance
+        for server in rack.servers[:3]:
+            server.send_flow(
+                rack.remote_hosts[int(server.name[-1])].name, 5_000_000
+            )
+        sim.run_for(ms(30))
+        uplink_bytes = np.array(
+            [p.counters.tx_bytes for p in rack.tor.uplink_ports], dtype=float
+        )
+        total = uplink_bytes.sum()
+        assert total > 0
+        mad = np.abs(uplink_bytes - uplink_bytes.mean()).mean() / uplink_bytes.mean()
+        assert mad > 0.25  # the paper's median MAD floor

@@ -1,0 +1,68 @@
+"""ECMP hashing tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim import EcmpHasher
+from repro.netsim.packet import FiveTuple
+
+
+def flows(n):
+    return [FiveTuple(f"h{i}", "dst", 1000 + i, 80) for i in range(n)]
+
+
+class TestFlowMode:
+    def test_consistent_per_flow(self):
+        hasher = EcmpHasher(4)
+        flow = flows(1)[0]
+        choices = {hasher.choose(flow) for _ in range(20)}
+        assert len(choices) == 1
+
+    def test_deterministic_across_instances(self):
+        a = EcmpHasher(4)
+        b = EcmpHasher(4)
+        for flow in flows(50):
+            assert a.choose(flow) == b.choose(flow)
+
+    def test_salt_changes_mapping(self):
+        a = EcmpHasher(4, salt=0)
+        b = EcmpHasher(4, salt=1)
+        assignments_differ = any(a.choose(f) != b.choose(f) for f in flows(50))
+        assert assignments_differ
+
+    def test_roughly_uniform_over_many_flows(self):
+        hasher = EcmpHasher(4)
+        counts = np.bincount([hasher.choose(f) for f in flows(4000)], minlength=4)
+        assert counts.min() > 800  # each link gets a fair share
+
+    def test_reverse_flow_may_differ(self):
+        """Flow hashing is direction-sensitive, like real 5-tuple ECMP."""
+        hasher = EcmpHasher(4)
+        differs = any(
+            hasher.choose(f) != hasher.choose(f.reversed()) for f in flows(50)
+        )
+        assert differs
+
+    def test_small_flow_count_imbalance(self):
+        """The Fig 7 effect: a handful of flows cannot balance 4 links."""
+        hasher = EcmpHasher(4)
+        counts = np.bincount([hasher.choose(f) for f in flows(4)], minlength=4)
+        assert counts.max() >= 2 or 0 in counts
+
+
+class TestPacketMode:
+    def test_round_robin(self):
+        hasher = EcmpHasher(4, mode="packet")
+        flow = flows(1)[0]
+        assert [hasher.choose(flow) for _ in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestValidation:
+    def test_zero_uplinks_rejected(self):
+        with pytest.raises(ConfigError):
+            EcmpHasher(0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            EcmpHasher(4, mode="spray")

@@ -1,0 +1,107 @@
+"""Simulator engine tests."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.netsim import Simulator
+
+
+def test_schedule_and_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(sim.now))
+    sim.schedule(50, lambda: fired.append(sim.now))
+    sim.run_until(1000)
+    assert fired == [50, 100]
+    assert sim.now == 1000
+
+
+def test_clock_ends_exactly_at_end_time():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run_until(500)
+    assert sim.now == 500
+
+
+def test_events_beyond_horizon_not_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(200, lambda: fired.append("late"))
+    sim.run_until(100)
+    assert fired == []
+    sim.run_until(300)
+    assert fired == ["late"]
+
+
+def test_event_scheduled_during_run_executes():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.schedule(10, lambda: fired.append("second"))
+
+    sim.schedule(10, first)
+    sim.run_until(100)
+    assert fired == ["second"]
+
+
+def test_run_for_relative():
+    sim = Simulator()
+    sim.run_until(100)
+    fired = []
+    sim.schedule(50, lambda: fired.append(sim.now))
+    sim.run_for(60)
+    assert fired == [150]
+    assert sim.now == 160
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.run_until(100)
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(99, lambda: None)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1, reschedule)
+
+    sim.schedule(1, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run_until(10_000_000, max_events=100)
+
+
+def test_deterministic_given_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        values = []
+        for delay in (5, 15, 25):
+            sim.schedule(delay, lambda: values.append(float(sim.rng.random())))
+        sim.run_until(100)
+        return values
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
+
+
+def test_spawn_rng_independent_streams():
+    sim = Simulator(seed=1)
+    a = sim.spawn_rng()
+    b = sim.spawn_rng()
+    assert a.random() != b.random()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for delay in (1, 2, 3):
+        sim.schedule(delay, lambda: None)
+    sim.run_until(10)
+    assert sim.events_processed == 3

@@ -1,0 +1,72 @@
+"""Packet and link tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim import Link, Simulator
+from repro.netsim.packet import FiveTuple, Packet
+from repro.units import MTU, gbps
+
+
+@pytest.fixture
+def flow():
+    return FiveTuple(src_host="a", dst_host="b", src_port=1111, dst_port=80)
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self, flow):
+        rev = flow.reversed()
+        assert rev.src_host == "b" and rev.dst_host == "a"
+        assert rev.src_port == 80 and rev.dst_port == 1111
+        assert rev.reversed() == flow
+
+    def test_hashable_identity(self, flow):
+        assert flow == FiveTuple("a", "b", 1111, 80)
+        assert hash(flow) == hash(FiveTuple("a", "b", 1111, 80))
+
+
+class TestPacket:
+    def test_size_limits_enforced(self, flow):
+        with pytest.raises(ValueError):
+            Packet(flow=flow, size_bytes=MTU + 1, created_ns=0)
+        with pytest.raises(ValueError):
+            Packet(flow=flow, size_bytes=32, created_ns=0)
+
+    def test_unique_ids(self, flow):
+        a = Packet(flow=flow, size_bytes=100, created_ns=0)
+        b = Packet(flow=flow, size_bytes=100, created_ns=0)
+        assert a.packet_id != b.packet_id
+
+
+class TestLink:
+    def test_serialization_plus_propagation(self, flow):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=gbps(10), propagation_ns=500)
+        arrivals = []
+        link.connect(lambda packet: arrivals.append(sim.now))
+        packet = Packet(flow=flow, size_bytes=1500, created_ns=0)
+        done = link.transmit(packet)
+        assert done == 1200  # 1500 B at 10 Gbps
+        sim.run_until(10_000)
+        assert arrivals == [1700]  # + 500 ns propagation
+
+    def test_transmit_before_connect_fails(self, flow):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=gbps(10))
+        with pytest.raises(ConfigError):
+            link.transmit(Packet(flow=flow, size_bytes=100, created_ns=0))
+
+    def test_double_connect_fails(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=gbps(10))
+        link.connect(lambda p: None)
+        with pytest.raises(ConfigError):
+            link.connect(lambda p: None)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            Link(Simulator(), "l", rate_bps=0)
+
+    def test_invalid_propagation(self):
+        with pytest.raises(ConfigError):
+            Link(Simulator(), "l", rate_bps=1e9, propagation_ns=-1)

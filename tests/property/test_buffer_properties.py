@@ -1,0 +1,69 @@
+"""Property-based tests for the shared buffer: conservation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.buffer import BufferPolicy, SharedBuffer
+
+CAPACITY = 50_000
+
+operations = st.lists(
+    st.tuples(
+        st.integers(0, 2),  # queue index
+        st.sampled_from(["admit", "drain"]),
+        st.integers(64, 9000),  # size
+    ),
+    max_size=200,
+)
+
+
+@given(operations, st.floats(0.25, 8.0))
+@settings(max_examples=200)
+def test_buffer_invariants_hold_under_any_schedule(ops, alpha):
+    """Occupancy == sum of queues, never negative, never above capacity,
+    and admitted bytes equal released + held."""
+    buffer = SharedBuffer(BufferPolicy(capacity_bytes=CAPACITY, alpha=alpha))
+    queues = [f"q{i}" for i in range(3)]
+    for queue in queues:
+        buffer.register_queue(queue)
+    held = {queue: [] for queue in queues}
+    admitted_bytes = 0
+    released_bytes = 0
+    for index, op, size in ops:
+        queue = queues[index]
+        if op == "admit":
+            if buffer.admit(queue, size):
+                held[queue].append(size)
+                admitted_bytes += size
+        elif held[queue]:
+            size = held[queue].pop()
+            buffer.release(queue, size)
+            released_bytes += size
+        # invariants after every step
+        total_held = sum(sum(sizes) for sizes in held.values())
+        assert buffer.occupancy_bytes == total_held
+        assert 0 <= buffer.occupancy_bytes <= CAPACITY
+        assert admitted_bytes == released_bytes + total_held
+        for queue_name in queues:
+            assert buffer.queue_bytes(queue_name) == sum(held[queue_name])
+
+
+@given(operations)
+@settings(max_examples=100)
+def test_watermark_never_below_current_occupancy(ops):
+    buffer = SharedBuffer(BufferPolicy(capacity_bytes=CAPACITY, alpha=2.0))
+    for i in range(3):
+        buffer.register_queue(f"q{i}")
+    held = {f"q{i}": [] for i in range(3)}
+    max_seen = 0
+    for index, op, size in ops:
+        queue = f"q{index}"
+        if op == "admit":
+            if buffer.admit(queue, size):
+                held[queue].append(size)
+                max_seen = max(max_seen, buffer.occupancy_bytes)
+        elif held[queue]:
+            buffer.release(queue, held[queue].pop())
+    peak = buffer.peak_occupancy_read_and_reset()
+    assert peak == max_seen
+    assert peak >= buffer.occupancy_bytes

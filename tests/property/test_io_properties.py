@@ -1,0 +1,37 @@
+"""Property-based round-trip test for the distribution-file format."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.io import read_distribution, write_distribution
+from repro.data.schema import DistributionFile
+
+xs_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=50,
+).map(lambda xs: np.sort(np.asarray(xs)))
+
+
+@given(xs_strategy, st.sampled_from(["web", "cache", "hadoop"]), st.data())
+@settings(max_examples=60)
+def test_write_read_roundtrip(tmp_path_factory, xs, app, data):
+    n = len(xs)
+    cdf = np.sort(
+        np.asarray(
+            data.draw(
+                st.lists(
+                    st.floats(0.0, 1.0, allow_nan=False), min_size=n, max_size=n
+                )
+            )
+        )
+    )
+    dist = DistributionFile(figure="fig6", app=app, unit="fraction", x=xs, cdf=cdf)
+    path = tmp_path_factory.mktemp("dist") / "roundtrip.dist"
+    write_distribution(path, dist)
+    loaded = read_distribution(path)
+    assert loaded.figure == dist.figure
+    assert loaded.app == app
+    np.testing.assert_allclose(loaded.x, dist.x, rtol=1e-6)
+    np.testing.assert_allclose(loaded.cdf, dist.cdf, rtol=1e-6, atol=1e-9)

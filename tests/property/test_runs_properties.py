@@ -1,0 +1,64 @@
+"""Property-based tests for run-length encoding (the burst primitive)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.runs import interior_run_lengths, run_lengths, runs_of
+
+bool_arrays = arrays(dtype=bool, shape=st.integers(0, 300))
+
+
+@given(bool_arrays)
+def test_runs_partition_the_series(mask):
+    """Runs tile the array exactly: contiguous, alternating, complete."""
+    runs = runs_of(mask)
+    if len(mask) == 0:
+        assert runs == []
+        return
+    assert runs[0].start == 0
+    assert runs[-1].stop == len(mask)
+    for left, right in zip(runs, runs[1:]):
+        assert left.stop == right.start
+        assert left.value != right.value  # maximal runs alternate
+    for run in runs:
+        segment = mask[run.start : run.stop]
+        assert np.all(segment == run.value)
+
+
+@given(bool_arrays)
+def test_run_lengths_conserve_mass(mask):
+    """True lengths + False lengths == total length."""
+    total = run_lengths(mask, True).sum() + run_lengths(mask, False).sum()
+    assert total == len(mask)
+    assert run_lengths(mask, True).sum() == mask.sum()
+
+
+@given(bool_arrays)
+def test_run_lengths_match_runs_of(mask):
+    runs = runs_of(mask)
+    assert list(run_lengths(mask, True)) == [r.length for r in runs if r.value]
+    assert list(run_lengths(mask, False)) == [r.length for r in runs if not r.value]
+
+
+@given(bool_arrays)
+def test_interior_is_subset(mask):
+    """Interior runs are the full runs minus at most two boundary runs."""
+    for value in (True, False):
+        full = list(run_lengths(mask, value))
+        interior = list(interior_run_lengths(mask, value))
+        assert len(interior) >= len(full) - 2
+        # interior lengths appear in the full list order-preservingly
+        if interior:
+            start = 1 if (len(mask) and bool(mask[0]) == value) else 0
+            assert full[start : start + len(interior)] == interior
+
+
+@given(bool_arrays, st.integers(1, 10_000))
+def test_burst_durations_are_multiples_of_interval(mask, interval):
+    from repro.analysis.bursts import burst_durations_ns
+
+    durations = burst_durations_ns(mask, interval)
+    assert np.all(durations % interval == 0)
+    assert np.all(durations >= interval) or len(durations) == 0

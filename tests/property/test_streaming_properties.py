@@ -1,0 +1,54 @@
+"""Property-based tests: streaming reducers agree with batch analysis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import extract_bursts, fit_transition_matrix
+from repro.core.streaming import StreamingBurstStats
+
+utilization_series = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=400
+).map(np.asarray)
+
+
+@given(utilization_series)
+@settings(max_examples=150)
+def test_streaming_equals_batch(util):
+    """For ANY input series the streaming statistics equal the batch ones."""
+    stream = StreamingBurstStats(interval_ns=25_000)
+    stream.update_many(util)
+    stream.finalize()
+    batch = extract_bursts(util, 25_000)
+    assert stream.n_bursts == batch.n_bursts
+    assert stream.n_samples == batch.n_samples
+    assert stream.hot_fraction == batch.hot_fraction
+    mask = util > 0.5
+    streaming_matrix = stream.transition_matrix()
+    batch_matrix = fit_transition_matrix(mask)
+    for attribute in ("p00", "p01", "p10", "p11"):
+        a = getattr(streaming_matrix, attribute)
+        b = getattr(batch_matrix, attribute)
+        assert (np.isnan(a) and np.isnan(b)) or a == b
+
+
+@given(utilization_series)
+@settings(max_examples=150)
+def test_duration_buckets_conserve_bursts(util):
+    stream = StreamingBurstStats(interval_ns=25_000)
+    stream.update_many(util)
+    stream.finalize()
+    assert sum(stream.duration_buckets) == stream.n_bursts
+
+
+@given(utilization_series, st.floats(0.01, 0.99))
+@settings(max_examples=100)
+def test_quantiles_monotone(util, q):
+    stream = StreamingBurstStats(interval_ns=25_000)
+    stream.update_many(util)
+    stream.finalize()
+    if stream.n_bursts == 0:
+        return
+    low = stream.duration_quantile_ns(min(q, 0.5))
+    high = stream.duration_quantile_ns(max(q, 0.5))
+    assert low <= high

@@ -1,0 +1,47 @@
+"""Calibration scorecard tests."""
+
+import pytest
+
+from repro.synth.validation import CheckResult, calibration_scorecard, render_scorecard
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    return calibration_scorecard(seed=0, n_ticks=800_000)
+
+
+def test_all_checks_pass(scorecard):
+    failing = [check for check in scorecard if not check.passed]
+    assert not failing, f"calibration drifted: {failing}"
+
+
+def test_covers_every_app(scorecard):
+    apps = {check.app for check in scorecard}
+    assert apps == {"web", "cache", "hadoop", "all"}
+
+
+def test_row_count(scorecard):
+    # 5 checks for web/cache, 4 for hadoop (no single-period target), 1 global
+    assert len(scorecard) == 5 + 5 + 4 + 1
+
+
+def test_render_shows_status(scorecard):
+    text = render_scorecard(scorecard)
+    assert "PASS" in text
+    assert f"{len(scorecard)}/{len(scorecard)} checks passed" in text
+
+
+def test_render_marks_failures():
+    fake = [
+        CheckResult(app="web", metric="m", target="t", measured=0.0, passed=False)
+    ]
+    assert "FAIL" in render_scorecard(fake)
+    assert "0/1" in render_scorecard(fake)
+
+
+def test_cli_validate_exit_code(capsys):
+    from repro.cli import main
+
+    assert main(["validate", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "checks passed" in out
