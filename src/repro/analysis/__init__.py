@@ -12,16 +12,19 @@ from repro.analysis.runs import Run, run_lengths, runs_of
 from repro.analysis.bursts import (
     HOT_THRESHOLD,
     BurstStats,
+    GapAwareBurstStats,
+    burst_cdf_delta_bound,
     burst_durations_ns,
     extract_bursts,
     extract_bursts_from_trace,
+    extract_bursts_gap_aware,
     hot_mask,
     interburst_gaps_ns,
     time_in_bursts_fraction,
     trace_hot_mask,
 )
 from repro.analysis.markov import TransitionMatrix, burst_likelihood_ratio, fit_transition_matrix
-from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.cdf import EmpiricalCdf, missing_mass_bound
 from repro.analysis.mad import mean_absolute_deviation, normalized_mad_series, resample_utilization
 from repro.analysis.correlation import pearson_correlation, pearson_matrix
 from repro.analysis.kstest import exponential_ks_test, KsResult
@@ -36,9 +39,12 @@ __all__ = [
     "runs_of",
     "HOT_THRESHOLD",
     "BurstStats",
+    "GapAwareBurstStats",
+    "burst_cdf_delta_bound",
     "burst_durations_ns",
     "extract_bursts",
     "extract_bursts_from_trace",
+    "extract_bursts_gap_aware",
     "trace_hot_mask",
     "hot_mask",
     "interburst_gaps_ns",
@@ -47,6 +53,7 @@ __all__ = [
     "burst_likelihood_ratio",
     "fit_transition_matrix",
     "EmpiricalCdf",
+    "missing_mass_bound",
     "mean_absolute_deviation",
     "normalized_mad_series",
     "resample_utilization",

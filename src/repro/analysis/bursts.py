@@ -145,3 +145,102 @@ def extract_bursts_from_trace(
         raise AnalysisError(f"trace {trace.name!r} too short for burst analysis")
     nominal = int(np.median(intervals))
     return extract_bursts(trace.utilization(), nominal, threshold)
+
+
+@dataclass(frozen=True, slots=True)
+class GapAwareBurstStats:
+    """Burst summary of a trace with missing intervals, plus an honest
+    account of how much the gaps can have moved the statistics."""
+
+    stats: BurstStats
+    n_segments: int
+    n_missing_instants: int
+    n_clipped_bursts: int
+    coverage: float
+    cdf_delta_bound: float
+
+    @property
+    def durations_ns(self) -> np.ndarray:
+        return self.stats.durations_ns
+
+
+def burst_cdf_delta_bound(
+    n_observed_bursts: int, n_clipped_bursts: int, confidence: float = 0.99
+) -> float:
+    """Bound on the sup-norm shift of the observed burst-duration CDF
+    relative to the full (unobserved) trace.
+
+    Two effects move the CDF.  Bursts *clipped* by a gap are counted
+    exactly (``n_clipped_bursts``, observable): each contributes at most
+    one mismatched entry on each side of the comparison.  Bursts hidden
+    entirely inside gaps are, for loss that is independent of utilization
+    (collector backpressure, export loss), a uniform random subsample of
+    the true burst population — their effect is sampling noise, covered
+    by the Dvoretzky–Kiefer–Wolfowitz term at the given confidence.
+    """
+    if n_observed_bursts <= 0:
+        return 1.0
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence {confidence} outside (0, 1)")
+    clip_term = 2.0 * n_clipped_bursts / n_observed_bursts
+    dkw_term = float(np.sqrt(np.log(2.0 / (1.0 - confidence)) / (2.0 * n_observed_bursts)))
+    return min(1.0, clip_term + dkw_term)
+
+
+def extract_bursts_gap_aware(
+    trace: CounterTrace,
+    threshold: float = HOT_THRESHOLD,
+    tolerance: float = 1.5,
+) -> GapAwareBurstStats:
+    """Burst summary of a trace that may have missing intervals.
+
+    The trace is split into contiguous segments at every gap (an interval
+    longer than ``tolerance`` nominal periods), and bursts are extracted
+    per segment — a gap can therefore never fuse two bursts, fabricate a
+    long one across missing data, or invent inter-burst gaps.  The
+    returned ``cdf_delta_bound`` (see :func:`burst_cdf_delta_bound`)
+    bounds the shift of the burst-duration CDF relative to the unobserved
+    full trace, so degraded figures come with an explicit error bar
+    instead of a silent bias.
+    """
+    nominal = trace.nominal_interval_ns()
+    segments = trace.split_at_gaps(nominal, tolerance)
+    if not segments:
+        raise AnalysisError(f"trace {trace.name!r} has no analyzable segment")
+    masks = [hot_mask(segment.utilization(), threshold) for segment in segments]
+    durations = np.concatenate([burst_durations_ns(m, nominal) for m in masks])
+    gaps = np.concatenate([interburst_gaps_ns(m, nominal) for m in masks])
+    pooled_mask = np.concatenate(masks)
+    stats = BurstStats(
+        n_bursts=len(durations),
+        n_samples=len(pooled_mask),
+        interval_ns=nominal,
+        durations_ns=durations,
+        gaps_ns=gaps,
+        hot_fraction=time_in_bursts_fraction(pooled_mask),
+        microburst_fraction=microburst_fraction(durations),
+    )
+    n_missing = trace.n_missing_instants(nominal)
+    # A burst is clipped when it touches a side of a segment that borders
+    # a gap (segment interiors are exact; trace start/end are ordinary
+    # window boundaries, same as the clean analysis).
+    n_clipped = 0
+    last = len(masks) - 1
+    for i, mask in enumerate(masks):
+        if len(mask) == 0:
+            continue
+        if i > 0 and mask[0]:
+            n_clipped += 1
+        if i < last and mask[-1]:
+            n_clipped += 1
+    bound = 0.0
+    if n_missing > 0 or len(segments) > 1:
+        bound = burst_cdf_delta_bound(len(durations), n_clipped)
+    return GapAwareBurstStats(
+        stats=stats,
+        n_segments=len(segments),
+        n_missing_instants=n_missing,
+        n_clipped_bursts=n_clipped,
+        coverage=trace.coverage_fraction(nominal),
+        cdf_delta_bound=bound,
+    )

@@ -55,6 +55,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of tables",
     )
+    parser.add_argument(
+        "--chaos",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "inject faults at this window-failure rate (ext-chaos only; "
+            "e.g. 0.05 for the paper-scale 5%% chaos run)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory for resumable chaos campaigns (ext-chaos)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the ext-chaos campaign from --checkpoint instead of restarting",
+    )
     return parser
 
 
@@ -108,13 +129,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"{report['ours_p90']:.4g}  KS {report['ks_distance']:.3f}"
             )
         return 0
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     json_payload = []
     for experiment_id in targets:
         start = time.time()
-        result = run_experiment(
-            experiment_id, seed=args.seed, **_scale_kwargs(experiment_id, args.scale)
-        )
+        kwargs = _scale_kwargs(experiment_id, args.scale)
+        if experiment_id == "ext-chaos":
+            if args.chaos is not None:
+                kwargs["fault_rate"] = args.chaos
+            if args.checkpoint is not None:
+                kwargs["checkpoint_dir"] = args.checkpoint
+                kwargs["resume"] = args.resume
+        result = run_experiment(experiment_id, seed=args.seed, **kwargs)
         if args.json:
             payload = result.to_dict(include_series=args.series)
             payload["seconds"] = round(time.time() - start, 2)

@@ -16,7 +16,15 @@ from repro.core.counters import CounterBinding, CounterKind, CostClass, CounterS
 from repro.core.asic import AsicTimingModel, ReadCost
 from repro.core.sampler import HighResSampler, SamplerConfig, SamplerReport, TimingStats
 from repro.core.collector import CollectorService
-from repro.core.campaign import CampaignPlan, CampaignWindow, MeasurementCampaign
+from repro.core.campaign import (
+    CampaignPlan,
+    CampaignResult,
+    CampaignWindow,
+    MeasurementCampaign,
+    RetryPolicy,
+    WindowOutcome,
+    WindowStatus,
+)
 from repro.core.snmp import CoarseSample, coarse_resample
 from repro.core.adaptive import AdaptiveConfig, AdaptiveSampler, AdaptiveStats
 from repro.core.streaming import ReservoirSampler, StreamingBurstStats
@@ -36,8 +44,12 @@ __all__ = [
     "TimingStats",
     "CollectorService",
     "CampaignPlan",
+    "CampaignResult",
     "CampaignWindow",
     "MeasurementCampaign",
+    "RetryPolicy",
+    "WindowOutcome",
+    "WindowStatus",
     "CoarseSample",
     "coarse_resample",
     "AdaptiveConfig",

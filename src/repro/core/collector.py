@@ -5,21 +5,30 @@ collector service that is both fine-grained and scalable" (Sec 4.1).  We
 model the collector as an in-process sink with explicit batching, so the
 tests can assert on batching behaviour and the campaign code can account
 for data volume (the paper's 720 windows totalled 250 GB).
+
+The pending queue is optionally *bounded*: production collectors see
+backpressure, and a bounded queue with an explicit drop policy turns
+"collector fell behind" into counted, analyzable sample loss (gaps with
+true timestamps) instead of unbounded memory growth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.counters import CounterSpec
 from repro.core.samples import CounterTrace
-from repro.errors import ConfigError, CounterError
+from repro.errors import CollectionError, ConfigError, CounterError
 
 #: Rough wire size of one sample record: 8-byte timestamp + 8-byte value
 #: per scalar (histogram counters count one value per bin).
 _BYTES_PER_SCALAR = 16
+
+#: What to do when a bounded pending queue overflows.
+DROP_POLICIES = ("drop_newest", "drop_oldest", "error")
 
 
 @dataclass(slots=True)
@@ -28,6 +37,7 @@ class _Stream:
     timestamps: list[int] = field(default_factory=list)
     values: list = field(default_factory=list)
     pending: int = 0
+    dropped: int = 0
 
 
 class CollectorService:
@@ -38,15 +48,43 @@ class CollectorService:
     batch_size:
         Number of samples the switch CPU buffers per counter before
         shipping a batch to the collector.
+    queue_capacity:
+        Bound on unshipped samples per counter.  ``None`` (default) keeps
+        the historical unbounded behaviour.
+    drop_policy:
+        On overflow: ``"drop_newest"`` discards the incoming sample,
+        ``"drop_oldest"`` evicts the oldest unshipped sample, ``"error"``
+        raises :class:`~repro.errors.CollectionError`.  Dropped samples
+        leave gaps with true timestamps, which the gap-aware analysis
+        handles downstream.
+    ship_should_fail:
+        Optional fault hook ``(counter_name, batch_index) -> bool``; a
+        True return makes that batch ship fail (samples stay pending, so
+        sustained failures exercise the bounded queue).
     """
 
-    def __init__(self, batch_size: int = 512) -> None:
+    def __init__(
+        self,
+        batch_size: int = 512,
+        queue_capacity: int | None = None,
+        drop_policy: str = "drop_newest",
+        ship_should_fail: Callable[[str, int], bool] | None = None,
+    ) -> None:
         if batch_size <= 0:
             raise ConfigError("batch size must be positive")
+        if queue_capacity is not None and queue_capacity <= 0:
+            raise ConfigError("queue capacity must be positive")
+        if drop_policy not in DROP_POLICIES:
+            raise ConfigError(f"drop policy {drop_policy!r} not in {DROP_POLICIES}")
         self.batch_size = batch_size
+        self.queue_capacity = queue_capacity
+        self.drop_policy = drop_policy
+        self.ship_should_fail = ship_should_fail
         self._streams: dict[str, _Stream] = {}
         self.batches_shipped = 0
         self.bytes_shipped = 0
+        self.samples_dropped = 0
+        self.ship_failures = 0
 
     def register(self, spec: CounterSpec) -> None:
         if spec.name in self._streams:
@@ -59,13 +97,39 @@ class CollectorService:
             stream = self._streams[name]
         except KeyError:
             raise CounterError(f"record for unregistered counter {name!r}") from None
+        if self.queue_capacity is not None and stream.pending >= self.queue_capacity:
+            if self.drop_policy == "error":
+                raise CollectionError(
+                    f"collector queue overflow on {name!r} "
+                    f"({stream.pending} pending >= capacity {self.queue_capacity})"
+                )
+            if self.drop_policy == "drop_newest":
+                self._count_drop(stream)
+                return
+            # drop_oldest: evict the oldest unshipped sample to make room.
+            oldest = len(stream.timestamps) - stream.pending
+            del stream.timestamps[oldest]
+            del stream.values[oldest]
+            stream.pending -= 1
+            self._count_drop(stream)
         stream.timestamps.append(timestamp_ns)
         stream.values.append(value)
         stream.pending += 1
         if stream.pending >= self.batch_size:
             self._ship(stream)
 
-    def _ship(self, stream: _Stream) -> None:
+    def _count_drop(self, stream: _Stream) -> None:
+        stream.dropped += 1
+        self.samples_dropped += 1
+
+    def _ship(self, stream: _Stream, force: bool = False) -> None:
+        if (
+            not force
+            and self.ship_should_fail is not None
+            and self.ship_should_fail(stream.spec.name, self.batches_shipped)
+        ):
+            self.ship_failures += 1
+            return
         scalars = stream.pending
         value = stream.values[-1] if stream.values else 0
         width = len(value) if isinstance(value, tuple) else 1
@@ -80,19 +144,30 @@ class CollectorService:
     def sample_count(self, name: str) -> int:
         return len(self._streams[name].timestamps)
 
+    def dropped_count(self, name: str) -> int:
+        """Samples dropped from one counter's stream by the bounded queue."""
+        return self._streams[name].dropped
+
     def finalize(self) -> dict[str, CounterTrace]:
-        """Flush everything and return one trace per counter."""
+        """Flush everything and return one trace per counter.
+
+        The final flush bypasses the ship-failure hook: finalize models
+        draining on shutdown, so remaining pending samples always land in
+        the returned traces (only queue overflow loses data).
+        """
         traces: dict[str, CounterTrace] = {}
         for name, stream in self._streams.items():
             if stream.pending:
-                self._ship(stream)
+                self._ship(stream, force=True)
             values = np.asarray(stream.values)
             kind = stream.spec.value_kind
+            meta = {"samples_dropped": stream.dropped} if stream.dropped else {}
             traces[name] = CounterTrace(
                 timestamps_ns=np.asarray(stream.timestamps, dtype=np.int64),
                 values=values,
                 kind=kind,
                 name=name,
                 rate_bps=stream.spec.rate_bps,
+                meta=meta,
             )
         return traces

@@ -55,6 +55,21 @@ class SamplerConfig:
             raise ConfigError("sampling interval must be positive")
 
 
+def overrun_covered_instants(
+    latency_ns: int, interval_ns: int, instants_remaining: int
+) -> int:
+    """Scheduled instants consumed by a read whose latency overruns the
+    interval, clamped to the window boundary.
+
+    ``instants_remaining`` counts grid instants from the current one to
+    the end of the window (the current instant counts as one).  Both
+    sampling modes share this clamp so live and timing-only runs agree
+    exactly on scheduled/missed accounting for identical latency streams.
+    """
+    overrun = -(-latency_ns // interval_ns)  # ceil division
+    return min(overrun, max(1, instants_remaining))
+
+
 @dataclass(slots=True)
 class TimingStats:
     """Outcome of a polling run, in Table 1's terms."""
@@ -121,38 +136,43 @@ class HighResSampler:
             collector.register(spec)
         stats = TimingStats()
         interval = self.config.interval_ns
+        n_instants = duration_ns // interval
+        if n_instants == 0:
+            raise SamplingError("duration shorter than one sampling interval")
         start = sim.now
         end = start + duration_ns
 
-        def poll(tick_ns: int) -> None:
-            if tick_ns >= end:
+        def poll(index: int) -> None:
+            if index >= n_instants:
                 return
+            tick_ns = start + index * interval
             latency = self.config.timing.group_read_latency_ns(
                 self._specs, self.rng, dedicated_core=self.config.dedicated_core
             )
-            done = tick_ns + latency
+            # Timing accounting happens at read initiation (it depends only
+            # on the latency), so live and timing-only modes agree even when
+            # the final read completes past the window end.
+            stats.taken += 1
+            if latency <= interval:
+                stats.scheduled += 1
+                next_index = index + 1
+            else:
+                covered = overrun_covered_instants(latency, interval, n_instants - index)
+                stats.scheduled += covered
+                stats.missed += covered
+                next_index = index + -(-latency // interval)
 
             def complete() -> None:
+                # Recorded with the true completion timestamp and exact
+                # cumulative value — bytes survive misses (Table 1).
                 for binding in self.bindings:
                     collector.record(binding.spec.name, sim.now, binding.read())
-                stats.taken += 1
-                if latency <= interval:
-                    stats.scheduled += 1
-                else:
-                    overrun = -(-latency // interval)  # ceil division
-                    covered = min(overrun, max(1, (end - tick_ns) // interval))
-                    stats.scheduled += covered
-                    stats.missed += covered
-                # Resume at the first grid instant at or after completion.
-                offset = done - start
-                next_index = -(-offset // interval)
-                next_tick = start + next_index * interval
-                if next_tick < end:
-                    sim.schedule_at(next_tick, lambda: poll(next_tick))
 
-            sim.schedule_at(done, complete)
+            sim.schedule_at(tick_ns + latency, complete)
+            if next_index < n_instants:
+                sim.schedule_at(start + next_index * interval, lambda: poll(next_index))
 
-        sim.schedule_at(start, lambda: poll(start))
+        sim.schedule_at(start, lambda: poll(0))
         sim.run_until(end)
         return SamplerReport(
             traces=collector.finalize(),
@@ -202,9 +222,8 @@ class HighResSampler:
                 stats.scheduled += 1
                 tick += 1
             else:
-                overrun = -(-latency // interval)
-                covered = min(overrun, n_ticks - tick)
+                covered = overrun_covered_instants(latency, interval, n_ticks - tick)
                 stats.scheduled += covered
                 stats.missed += covered
-                tick += overrun
+                tick += -(-latency // interval)
         return stats

@@ -89,14 +89,106 @@ class CounterTrace:
         """Length of each between-sample interval (cumulative kind)."""
         return np.diff(self.timestamps_ns)
 
-    def deltas(self) -> np.ndarray:
-        """Per-interval increments of a cumulative counter."""
+    def deltas(self, wrap_bits: int | None = None) -> np.ndarray:
+        """Per-interval increments of a cumulative counter.
+
+        ``wrap_bits`` (or a ``counter_bits`` entry in :attr:`meta`, set by
+        whatever produced the raw readings) declares the hardware counter
+        width: real ASIC byte counters are 32-bit registers, so the raw
+        value wraps every ~4 GB.  Wraparound is corrected *exactly* by
+        adding ``2**wrap_bits`` to each negative diff — exact as long as
+        no single interval moves the counter by a full period, which at
+        line rate takes seconds against microsecond intervals.
+        """
         if self.kind is not ValueKind.CUMULATIVE:
             raise AnalysisError(f"deltas undefined for {self.kind} trace {self.name!r}")
+        if wrap_bits is None:
+            wrap_bits = self.meta.get("counter_bits")
         deltas = np.diff(self.values, axis=0)
+        if wrap_bits is not None:
+            if not 1 <= int(wrap_bits) <= 62:
+                raise AnalysisError(
+                    f"counter width {wrap_bits} not correctable in int64 arithmetic"
+                )
+            period = np.int64(1) << int(wrap_bits)
+            deltas = np.where(deltas < 0, deltas + period, deltas)
         if np.any(deltas < 0):
             raise AnalysisError(f"cumulative counter {self.name!r} went backwards")
         return deltas
+
+    # -- gap awareness ------------------------------------------------------------
+
+    def nominal_interval_ns(self) -> int:
+        """The trace's target sampling interval (median observed gap)."""
+        intervals = self.interval_durations_ns()
+        if len(intervals) == 0:
+            raise AnalysisError(f"trace {self.name!r} too short to infer an interval")
+        return int(np.median(intervals))
+
+    def missing_interval_mask(
+        self, nominal_interval_ns: int | None = None, tolerance: float = 1.5
+    ) -> np.ndarray:
+        """Boolean mask over between-sample intervals: True where the
+        interval spans one or more missed sampling instants.
+
+        An interval longer than ``tolerance`` times the nominal interval
+        is a gap — the sampler missed instants there, so per-interval
+        statistics derived from it describe an average over the gap, not
+        one sampling period.
+        """
+        if tolerance < 1.0:
+            raise AnalysisError(f"tolerance {tolerance} must be >= 1")
+        nominal = nominal_interval_ns or self.nominal_interval_ns()
+        if nominal <= 0:
+            raise AnalysisError("nominal interval must be positive")
+        return self.interval_durations_ns() > tolerance * nominal
+
+    def n_missing_instants(self, nominal_interval_ns: int | None = None) -> int:
+        """Estimated count of sampling instants lost to gaps."""
+        intervals = self.interval_durations_ns()
+        if len(intervals) == 0:
+            return 0
+        nominal = nominal_interval_ns or self.nominal_interval_ns()
+        per_gap = np.rint(intervals / nominal).astype(np.int64) - 1
+        return int(np.clip(per_gap, 0, None).sum())
+
+    def coverage_fraction(self, nominal_interval_ns: int | None = None) -> float:
+        """Fraction of scheduled sampling instants actually observed."""
+        intervals = self.interval_durations_ns()
+        if len(intervals) == 0:
+            return 1.0
+        missing = self.n_missing_instants(nominal_interval_ns)
+        return len(intervals) / (len(intervals) + missing)
+
+    def split_at_gaps(
+        self, nominal_interval_ns: int | None = None, tolerance: float = 1.5
+    ) -> list["CounterTrace"]:
+        """Contiguous sub-traces separated by missing intervals.
+
+        Gap-tolerant analyses work segment by segment so a gap can never
+        fuse two bursts (or fabricate one long one) across missing data.
+        A trace with no gaps comes back whole.
+        """
+        mask = self.missing_interval_mask(nominal_interval_ns, tolerance)
+        if not mask.any():
+            return [self]
+        boundaries = np.flatnonzero(mask) + 1  # first sample of each new segment
+        segments: list[CounterTrace] = []
+        start = 0
+        for stop in [*boundaries.tolist(), len(self)]:
+            if stop - start >= 2 or (self.kind is not ValueKind.CUMULATIVE and stop > start):
+                segments.append(
+                    CounterTrace(
+                        timestamps_ns=self.timestamps_ns[start:stop],
+                        values=self.values[start:stop],
+                        kind=self.kind,
+                        name=self.name,
+                        rate_bps=self.rate_bps,
+                        meta=dict(self.meta),
+                    )
+                )
+            start = stop
+        return segments
 
     def rates_bps(self) -> np.ndarray:
         """Per-interval average throughput in bits/s (byte counters)."""

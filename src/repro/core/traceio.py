@@ -5,30 +5,52 @@ compressed ``.npz`` archives (one archive per campaign window or ad-hoc
 collection) with enough metadata to reconstruct full
 :class:`~repro.core.samples.CounterTrace` objects — name, semantics, and
 line rate included.
+
+Archives are written atomically (write to a temporary file, then rename)
+and carry per-trace length/CRC32 integrity records, so a truncated or
+corrupted file is detected as :class:`~repro.errors.CorruptTraceError`
+instead of being silently parsed as a shorter trace.  Version-1 archives
+(no integrity records) still load.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.samples import CounterTrace, ValueKind
-from repro.errors import DataFormatError
+from repro.errors import CorruptTraceError, DataFormatError
 
 _FORMAT_KEY = "__repro_trace_archive__"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_COUNT_KEY = "__n_traces__"
+
+
+def _crc(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def _normalized(path: Path) -> Path:
+    """The final on-disk name (numpy appends .npz when absent)."""
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
 
 
 def save_traces(path: str | Path, traces: dict[str, CounterTrace]) -> None:
-    """Write a named collection of traces to one compressed archive."""
+    """Write a named collection of traces to one compressed archive.
+
+    The archive appears atomically: readers either see the previous file
+    or the complete new one, never a half-written archive.
+    """
     if not traces:
         raise DataFormatError("refusing to write an empty trace archive")
-    path = Path(path)
+    path = _normalized(Path(path))
     payload: dict[str, np.ndarray] = {
-        _FORMAT_KEY: np.array([_FORMAT_VERSION], dtype=np.int64)
+        _FORMAT_KEY: np.array([_FORMAT_VERSION], dtype=np.int64),
+        _COUNT_KEY: np.array([len(traces)], dtype=np.int64),
     }
-    names: list[str] = []
     for index, (name, trace) in enumerate(traces.items()):
         if name != trace.name:
             raise DataFormatError(
@@ -40,33 +62,75 @@ def save_traces(path: str | Path, traces: dict[str, CounterTrace]) -> None:
         payload[f"{prefix}.meta"] = np.array(
             [trace.name, trace.kind.value, repr(float(trace.rate_bps))]
         )
-        names.append(name)
+        payload[f"{prefix}.integrity"] = np.array(
+            [len(trace), _crc(trace.timestamps_ns), _crc(trace.values)],
+            dtype=np.int64,
+        )
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **payload)
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}.npz")
+    try:
+        np.savez_compressed(tmp, **payload)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _verify(prefix: str, archive, trace: CounterTrace, path: Path) -> None:
+    key = f"{prefix}.integrity"
+    if key not in archive:
+        raise CorruptTraceError(f"{path}: trace {trace.name!r} missing integrity record")
+    n_samples, ts_crc, val_crc = (int(x) for x in archive[key])
+    if n_samples != len(trace):
+        raise CorruptTraceError(
+            f"{path}: trace {trace.name!r} has {len(trace)} samples, header says "
+            f"{n_samples} — truncated or corrupted archive"
+        )
+    if _crc(trace.timestamps_ns) != ts_crc or _crc(trace.values) != val_crc:
+        raise CorruptTraceError(f"{path}: CRC mismatch in trace {trace.name!r}")
 
 
 def load_traces(path: str | Path) -> dict[str, CounterTrace]:
     """Load a trace archive written by :func:`save_traces`."""
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        if _FORMAT_KEY not in archive:
-            raise DataFormatError(f"{path} is not a repro trace archive")
-        version = int(archive[_FORMAT_KEY][0])
-        if version != _FORMAT_VERSION:
-            raise DataFormatError(f"{path}: unsupported archive version {version}")
-        traces: dict[str, CounterTrace] = {}
-        index = 0
-        while f"t{index}.meta" in archive:
-            name, kind_value, rate_repr = archive[f"t{index}.meta"]
-            trace = CounterTrace(
-                timestamps_ns=archive[f"t{index}.timestamps"],
-                values=archive[f"t{index}.values"],
-                kind=ValueKind(str(kind_value)),
-                name=str(name),
-                rate_bps=float(str(rate_repr)),
-            )
-            traces[trace.name] = trace
-            index += 1
+    try:
+        archive_cm = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise CorruptTraceError(f"{path}: unreadable archive ({exc})") from exc
+    with archive_cm as archive:
+        try:
+            if _FORMAT_KEY not in archive:
+                raise DataFormatError(f"{path} is not a repro trace archive")
+            version = int(archive[_FORMAT_KEY][0])
+            if version not in (1, _FORMAT_VERSION):
+                raise DataFormatError(f"{path}: unsupported archive version {version}")
+            traces: dict[str, CounterTrace] = {}
+            index = 0
+            while f"t{index}.meta" in archive:
+                name, kind_value, rate_repr = archive[f"t{index}.meta"]
+                trace = CounterTrace(
+                    timestamps_ns=archive[f"t{index}.timestamps"],
+                    values=archive[f"t{index}.values"],
+                    kind=ValueKind(str(kind_value)),
+                    name=str(name),
+                    rate_bps=float(str(rate_repr)),
+                )
+                if version >= 2:
+                    _verify(f"t{index}", archive, trace, path)
+                traces[trace.name] = trace
+                index += 1
+            if version >= 2:
+                expected = int(archive[_COUNT_KEY][0]) if _COUNT_KEY in archive else None
+                if expected is not None and expected != len(traces):
+                    raise CorruptTraceError(
+                        f"{path}: archive holds {len(traces)} traces, header says "
+                        f"{expected} — truncated archive"
+                    )
+        except (DataFormatError, FileNotFoundError):
+            raise
+        except Exception as exc:
+            raise CorruptTraceError(f"{path}: damaged archive member ({exc})") from exc
     if not traces:
         raise DataFormatError(f"{path}: archive holds no traces")
     return traces

@@ -32,9 +32,27 @@ class SamplingError(ReproError):
     """The high-resolution sampler was misconfigured or misused."""
 
 
+class CollectionError(ReproError):
+    """A measurement window could not be collected (read failure, window
+    timeout, collector overflow with an ``error`` drop policy, ...).
+
+    Collection errors are *transient by contract*: the resilient campaign
+    runner retries them with backoff before declaring the window failed.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is invalid or an injector was misused."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 
 
 class DataFormatError(ReproError):
     """A distribution data file does not match the expected schema."""
+
+
+class CorruptTraceError(DataFormatError):
+    """A trace archive failed its integrity check (truncation, bit
+    corruption, or a length/CRC mismatch)."""

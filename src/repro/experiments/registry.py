@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.errors import ConfigError
 from repro.experiments import (
+    ext_chaos_resilience,
     ext_implications,
     ext_netsim_validation,
     fig1_drops_vs_util,
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "ext-pacing": ext_implications.run_pacing,
     "ext-failures": ext_implications.run_failures,
     "ext-netsim": ext_netsim_validation.run,
+    "ext-chaos": ext_chaos_resilience.run,
 }
 
 

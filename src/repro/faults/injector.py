@@ -1,0 +1,222 @@
+"""Deterministic fault injection.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete injection decisions.  Every decision is drawn from a numpy
+generator seeded by ``(plan.seed, crc32(site))`` where the *site* names
+the affected window, counter, or file — never from shared mutable RNG
+state — so the same plan produces the same faults regardless of call
+order, retries, or checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.samples import CounterTrace, ValueKind
+from repro.errors import FaultInjectionError
+from repro.faults.plan import FaultPlan
+
+#: Meta key carrying the wrap width of a raw (possibly wrapped) counter.
+COUNTER_BITS_META = "counter_bits"
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """Tally of everything an injector actually did."""
+
+    window_faults: int = 0
+    transient_faults: int = 0
+    persistent_faults: int = 0
+    reads_failed: int = 0
+    samples_dropped: int = 0
+    traces_wrapped: int = 0
+    latency_spikes: int = 0
+    archives_truncated: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "window_faults": self.window_faults,
+            "transient_faults": self.transient_faults,
+            "persistent_faults": self.persistent_faults,
+            "reads_failed": self.reads_failed,
+            "samples_dropped": self.samples_dropped,
+            "traces_wrapped": self.traces_wrapped,
+            "latency_spikes": self.latency_spikes,
+            "archives_truncated": self.archives_truncated,
+        }
+
+
+class FaultInjector:
+    """Executes a fault plan with order-independent determinism."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+
+    # -- keyed randomness --------------------------------------------------------
+
+    def rng_for(self, site: str) -> np.random.Generator:
+        """Fresh generator for one injection site (stable across runs)."""
+        return np.random.default_rng([self.plan.seed, zlib.crc32(site.encode())])
+
+    # -- window-level faults -----------------------------------------------------
+
+    def should_fail_window(self, site: str, attempt: int) -> bool:
+        """Whether collection attempt ``attempt`` (0-based) of the window
+        named by ``site`` fails.
+
+        A faulty window is either *transient* (fails attempt 0 only) or
+        *persistent* (fails every attempt), split by the plan's
+        ``transient_fraction``.  The classification depends only on the
+        site, so retries and resumed runs replay identical behaviour.
+        """
+        if attempt < 0:
+            raise FaultInjectionError(f"attempt must be >= 0, got {attempt}")
+        rng = self.rng_for(f"window|{site}")
+        if rng.random() >= self.plan.window_failure_rate:
+            return False
+        transient = rng.random() < self.plan.transient_fraction
+        if attempt == 0:
+            self.stats.window_faults += 1
+            if transient:
+                self.stats.transient_faults += 1
+            else:
+                self.stats.persistent_faults += 1
+        return True if not transient else attempt == 0
+
+    # -- read-level faults -------------------------------------------------------
+
+    def read_failure_mask(self, site: str, n_reads: int) -> np.ndarray:
+        """Boolean mask of reads that fail (sample absent) at this site."""
+        if n_reads < 0:
+            raise FaultInjectionError(f"n_reads must be >= 0, got {n_reads}")
+        if self.plan.read_failure_rate == 0.0 or n_reads == 0:
+            return np.zeros(n_reads, dtype=bool)
+        mask = self.rng_for(f"reads|{site}").random(n_reads) < self.plan.read_failure_rate
+        self.stats.reads_failed += int(mask.sum())
+        return mask
+
+    def latency_spikes_ns(self, site: str, n_reads: int) -> np.ndarray:
+        """Extra per-read latency from injected CPU contention."""
+        if n_reads < 0:
+            raise FaultInjectionError(f"n_reads must be >= 0, got {n_reads}")
+        extra = np.zeros(n_reads, dtype=np.int64)
+        if self.plan.latency_spike_rate == 0.0 or n_reads == 0:
+            return extra
+        hit = self.rng_for(f"spikes|{site}").random(n_reads) < self.plan.latency_spike_rate
+        extra[hit] = self.plan.latency_spike_ns
+        self.stats.latency_spikes += int(hit.sum())
+        return extra
+
+    # -- trace-level faults ------------------------------------------------------
+
+    def wrap_trace(self, trace: CounterTrace) -> CounterTrace:
+        """Wrap a cumulative counter to ``wrap_bits`` (e.g. a 32-bit ASIC
+        register), recording the width in the trace meta so analysis can
+        correct the deltas exactly."""
+        bits = self.plan.wrap_bits
+        if bits is None or trace.kind is not ValueKind.CUMULATIVE:
+            return trace
+        modulus = np.int64(1) << bits if bits < 63 else None
+        if modulus is None:
+            return trace
+        values = np.asarray(trace.values)
+        wrapped = np.mod(values, modulus)
+        meta = dict(trace.meta)
+        meta[COUNTER_BITS_META] = bits
+        self.stats.traces_wrapped += 1
+        return CounterTrace(
+            timestamps_ns=trace.timestamps_ns,
+            values=wrapped,
+            kind=trace.kind,
+            name=trace.name,
+            rate_bps=trace.rate_bps,
+            meta=meta,
+        )
+
+    def drop_samples(self, trace: CounterTrace, site: str) -> CounterTrace:
+        """Lose interior samples at ``sample_loss_rate``.
+
+        The first and last samples always survive so the window span is
+        preserved; what remains keeps true timestamps and cumulative
+        values — exactly the paper's "timestamps survive misses"
+        degradation, just injected after the fact.
+        """
+        rate = self.plan.sample_loss_rate
+        if rate == 0.0 or len(trace) <= 2:
+            return trace
+        keep = self.rng_for(f"loss|{site}").random(len(trace)) >= rate
+        keep[0] = True
+        keep[-1] = True
+        dropped = int((~keep).sum())
+        if dropped == 0:
+            return trace
+        self.stats.samples_dropped += dropped
+        meta = dict(trace.meta)
+        meta["samples_dropped"] = meta.get("samples_dropped", 0) + dropped
+        return CounterTrace(
+            timestamps_ns=trace.timestamps_ns[keep],
+            values=np.asarray(trace.values)[keep],
+            kind=trace.kind,
+            name=trace.name,
+            rate_bps=trace.rate_bps,
+            meta=meta,
+        )
+
+    def degrade_trace(self, trace: CounterTrace, site: str) -> CounterTrace:
+        """Apply all trace-level faults (loss then wraparound)."""
+        return self.wrap_trace(self.drop_samples(trace, site))
+
+    # -- storage faults ----------------------------------------------------------
+
+    def maybe_truncate_archive(self, path, site: str) -> bool:
+        """Truncate a written archive with probability ``truncate_rate``.
+
+        Returns True when the file was damaged.  Used to prove the
+        traceio integrity checks catch storage corruption instead of
+        silently parsing a shorter trace.
+        """
+        rng = self.rng_for(f"truncate|{site}")
+        if rng.random() >= self.plan.truncate_rate:
+            return False
+        data = path.read_bytes()
+        if len(data) < 2:
+            return False
+        cut = int(rng.integers(1, len(data)))
+        path.write_bytes(data[:cut])
+        self.stats.archives_truncated += 1
+        return True
+
+
+class FaultyTimingModel:
+    """ASIC timing model decorated with injected contention spikes.
+
+    Duck-types :class:`repro.core.asic.AsicTimingModel` so it can be
+    dropped into a :class:`~repro.core.sampler.SamplerConfig`.
+    """
+
+    def __init__(self, base, injector: FaultInjector, site: str = "sampler") -> None:
+        self.base = base
+        self.injector = injector
+        self.site = site
+        self._drawn = 0
+
+    def group_read_latency_ns(self, specs, rng, dedicated_core=True) -> int:
+        latency = self.base.group_read_latency_ns(specs, rng, dedicated_core=dedicated_core)
+        extra = self.injector.latency_spikes_ns(f"{self.site}|{self._drawn}", 1)
+        self._drawn += 1
+        return int(latency + extra[0])
+
+    def group_read_latencies_ns(self, specs, n, rng, dedicated_core=True) -> np.ndarray:
+        latencies = self.base.group_read_latencies_ns(
+            specs, n, rng, dedicated_core=dedicated_core
+        )
+        extra = self.injector.latency_spikes_ns(f"{self.site}|{self._drawn}", n)
+        self._drawn += n
+        return latencies + extra
+
+    def expected_cpu_utilization(self, specs, interval_ns) -> float:
+        return self.base.expected_cpu_utilization(specs, interval_ns)

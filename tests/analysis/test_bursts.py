@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.bursts import (
-    HOT_THRESHOLD,
     burst_durations_ns,
     extract_bursts,
     extract_bursts_from_trace,

@@ -1,12 +1,11 @@
 """Collector service tests."""
 
-import numpy as np
 import pytest
 
 from repro.core import CollectorService
 from repro.core.counters import CounterKind, CounterSpec
 from repro.core.samples import ValueKind
-from repro.errors import ConfigError, CounterError
+from repro.errors import CollectionError, ConfigError, CounterError
 
 
 @pytest.fixture
@@ -72,3 +71,95 @@ class TestBatching:
     def test_bad_batch_size(self):
         with pytest.raises(ConfigError):
             CollectorService(batch_size=0)
+
+
+def bounded(capacity, policy, batch_size=100, **kwargs):
+    service = CollectorService(
+        batch_size=batch_size,
+        queue_capacity=capacity,
+        drop_policy=policy,
+        **kwargs,
+    )
+    service.register(CounterSpec("bytes", CounterKind.BYTE, rate_bps=10e9))
+    return service
+
+
+class TestBoundedQueue:
+    def test_drop_newest_discards_incoming(self):
+        service = bounded(2, "drop_newest")
+        for i in range(5):
+            service.record("bytes", i * 1000, i * 100)
+        trace = service.finalize()["bytes"]
+        assert list(trace.timestamps_ns) == [0, 1000]
+        assert service.samples_dropped == 3
+        assert service.dropped_count("bytes") == 3
+        assert trace.meta["samples_dropped"] == 3
+
+    def test_drop_oldest_evicts_pending(self):
+        service = bounded(2, "drop_oldest")
+        for i in range(5):
+            service.record("bytes", i * 1000, i * 100)
+        trace = service.finalize()["bytes"]
+        # The two newest samples survive; gaps keep true timestamps.
+        assert list(trace.timestamps_ns) == [3000, 4000]
+        assert service.samples_dropped == 3
+
+    def test_error_policy_raises(self):
+        service = bounded(2, "error")
+        service.record("bytes", 0, 0)
+        service.record("bytes", 1000, 100)
+        with pytest.raises(CollectionError):
+            service.record("bytes", 2000, 200)
+
+    def test_shipping_drains_the_queue(self):
+        """Capacity binds *pending* samples, so a keeping-up collector
+        never drops even far more samples than the capacity."""
+        service = bounded(4, "drop_newest", batch_size=2)
+        for i in range(50):
+            service.record("bytes", i * 1000, i * 100)
+        assert service.samples_dropped == 0
+        assert len(service.finalize()["bytes"]) == 50
+
+    def test_unbounded_default_never_drops(self):
+        service = bounded(None, "drop_newest")
+        for i in range(1000):
+            service.record("bytes", i * 1000, i)
+        assert service.samples_dropped == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            CollectorService(queue_capacity=0)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            CollectorService(drop_policy="shrug")
+
+    def test_clean_trace_has_no_drop_marker(self, collector):
+        collector.record("bytes", 0, 0)
+        trace = collector.finalize()["bytes"]
+        assert "samples_dropped" not in trace.meta
+
+
+class TestShipFailures:
+    def test_failed_ships_keep_samples_pending(self):
+        service = bounded(
+            10, "drop_newest", batch_size=2, ship_should_fail=lambda name, i: True
+        )
+        for i in range(6):
+            service.record("bytes", i * 1000, i * 100)
+        # Every record past the batch threshold retries the failing ship.
+        assert service.ship_failures == 5
+        assert service.batches_shipped == 0
+        # finalize drains regardless: shutdown always lands pending data.
+        trace = service.finalize()["bytes"]
+        assert len(trace) == 6
+        assert service.batches_shipped == 1
+
+    def test_sustained_ship_failure_overflows_bounded_queue(self):
+        service = bounded(
+            3, "drop_newest", batch_size=2, ship_should_fail=lambda name, i: True
+        )
+        for i in range(10):
+            service.record("bytes", i * 1000, i * 100)
+        assert service.samples_dropped == 7
+        assert len(service.finalize()["bytes"]) == 3

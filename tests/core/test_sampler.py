@@ -124,6 +124,85 @@ class TestLiveMode:
         assert np.array_equal(a.timestamps_ns, b.timestamps_ns)
 
 
+class ScriptedTiming:
+    """Timing model replaying a fixed latency sequence (cycled)."""
+
+    def __init__(self, latencies):
+        self.latencies = [int(x) for x in latencies]
+        self._next = 0
+
+    def _take(self, n):
+        out = [
+            self.latencies[(self._next + k) % len(self.latencies)] for k in range(n)
+        ]
+        self._next += n
+        return out
+
+    def group_read_latency_ns(self, specs, rng, dedicated_core=True):
+        return self._take(1)[0]
+
+    def group_read_latencies_ns(self, specs, n, rng, dedicated_core=True):
+        return np.asarray(self._take(n), dtype=np.int64)
+
+    def expected_cpu_utilization(self, specs, interval_ns):
+        return 0.5
+
+
+def scripted_sampler(latencies, interval_ns=us(25)):
+    return HighResSampler(
+        SamplerConfig(interval_ns=interval_ns, timing=ScriptedTiming(latencies)),
+        [byte_binding()],
+        rng=0,
+    )
+
+
+class TestEdgeCases:
+    def test_overrun_clamp(self):
+        from repro.core.sampler import overrun_covered_instants
+
+        assert overrun_covered_instants(us(25), us(25), 100) == 1
+        assert overrun_covered_instants(us(26), us(25), 100) == 2
+        assert overrun_covered_instants(us(100), us(25), 100) == 4
+        # Clamped at the window boundary, never below one instant.
+        assert overrun_covered_instants(us(100), us(25), 2) == 2
+        assert overrun_covered_instants(us(100), us(25), 0) == 1
+
+    def test_latency_exactly_equal_to_interval_is_not_a_miss(self):
+        sampler = scripted_sampler([us(25)])
+        stats = sampler.simulate_timing(us(25) * 10)
+        assert stats.scheduled == 10
+        assert stats.taken == 10
+        assert stats.missed == 0
+
+    def test_live_mode_latency_equal_to_interval(self):
+        sampler = scripted_sampler([us(25)])
+        report = sampler.run_in_sim(Simulator(seed=0), us(25) * 10)
+        assert report.timing.scheduled == 10
+        assert report.timing.missed == 0
+
+    def test_live_duration_shorter_than_interval_rejected(self):
+        sampler = scripted_sampler([us(1)])
+        with pytest.raises(SamplingError):
+            sampler.run_in_sim(Simulator(seed=0), us(10))
+
+    def test_read_completing_exactly_at_window_end_is_recorded(self):
+        # Last read starts at t = 3 * interval and completes at t = end.
+        sampler = scripted_sampler([us(25)])
+        report = sampler.run_in_sim(Simulator(seed=0), us(25) * 4)
+        trace = report.traces["p.tx_bytes"]
+        assert len(trace) == 4
+        assert trace.timestamps_ns[-1] == us(25) * 4
+
+    def test_final_overrun_clamped_to_window(self):
+        """A huge latency on the final instants can't inflate scheduled
+        past the number of grid points in the window."""
+        sampler = scripted_sampler([us(10_000)])
+        stats = sampler.simulate_timing(us(25) * 8)
+        assert stats.scheduled == 8
+        assert stats.missed == 8
+        assert stats.taken == 1
+
+
 class TestValidation:
     def test_empty_bindings_rejected(self):
         with pytest.raises(SamplingError):

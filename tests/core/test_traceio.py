@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.samples import CounterTrace, ValueKind
 from repro.core.traceio import load_traces, save_traces
-from repro.errors import DataFormatError
+from repro.errors import CorruptTraceError, DataFormatError
 from repro.units import gbps, us
 
 
@@ -84,3 +84,96 @@ class TestValidation:
         path = tmp_path / "deep" / "nested" / "w.npz"
         save_traces(path, sample_traces())
         assert path.exists()
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_traces(tmp_path / "absent.npz")
+
+
+def _raw_members(path):
+    """The archive's raw arrays, for building damaged variants."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+class TestIntegrity:
+    def test_truncated_archive_detected(self, tmp_path):
+        path = tmp_path / "w.npz"
+        save_traces(path, sample_traces())
+        data = path.read_bytes()
+        for cut in (len(data) // 4, len(data) // 2, len(data) - 7):
+            path.write_bytes(data[:cut])
+            with pytest.raises(CorruptTraceError):
+                load_traces(path)
+
+    def test_garbage_file_detected(self, tmp_path):
+        path = tmp_path / "w.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(CorruptTraceError):
+            load_traces(path)
+
+    def test_crc_mismatch_detected(self, tmp_path):
+        path = tmp_path / "w.npz"
+        save_traces(path, sample_traces())
+        members = _raw_members(path)
+        key = "t0.values"
+        tampered = members[key].copy()
+        tampered.flat[0] += 1
+        members[key] = tampered
+        np.savez_compressed(path, **members)
+        with pytest.raises(CorruptTraceError, match="CRC"):
+            load_traces(path)
+
+    def test_length_mismatch_detected(self, tmp_path):
+        path = tmp_path / "w.npz"
+        save_traces(path, sample_traces())
+        members = _raw_members(path)
+        members["t0.timestamps"] = members["t0.timestamps"][:-1]
+        members["t0.values"] = members["t0.values"][:-1]
+        np.savez_compressed(path, **members)
+        with pytest.raises(CorruptTraceError):
+            load_traces(path)
+
+    def test_missing_trace_detected_by_count(self, tmp_path):
+        path = tmp_path / "w.npz"
+        save_traces(path, sample_traces())
+        members = _raw_members(path)
+        dropped = {
+            key: value
+            for key, value in members.items()
+            if not key.startswith("t2.")
+        }
+        np.savez_compressed(path, **dropped)
+        with pytest.raises(CorruptTraceError, match="header says"):
+            load_traces(path)
+
+    def test_version1_archive_without_integrity_still_loads(self, tmp_path):
+        path = tmp_path / "w.npz"
+        save_traces(path, sample_traces())
+        members = _raw_members(path)
+        legacy = {
+            key: value
+            for key, value in members.items()
+            if not key.endswith(".integrity") and key != "__n_traces__"
+        }
+        legacy["__repro_trace_archive__"] = np.array([1], dtype=np.int64)
+        np.savez_compressed(path, **legacy)
+        loaded = load_traces(path)
+        assert set(loaded) == set(sample_traces())
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "w.npz"
+        save_traces(path, sample_traces())
+        save_traces(path, sample_traces())  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["w.npz"]
+
+    def test_failed_write_preserves_existing_archive(self, tmp_path):
+        path = tmp_path / "w.npz"
+        save_traces(path, sample_traces())
+        before = path.read_bytes()
+        with pytest.raises(DataFormatError):
+            save_traces(path, {"wrong": sample_traces()["down0.tx_bytes"]})
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["w.npz"]

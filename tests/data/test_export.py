@@ -1,6 +1,5 @@
 """Export / compare pipeline tests."""
 
-import numpy as np
 import pytest
 
 from repro.data.export import compare_directory, export_distributions

@@ -36,3 +36,20 @@ def test_parser_defaults():
     assert args.seed == 0
     assert args.scale == "small"
     assert not args.series
+    assert args.chaos is None
+    assert args.checkpoint is None
+    assert not args.resume
+
+
+def test_chaos_flags_parsed():
+    args = build_parser().parse_args(
+        ["ext-chaos", "--chaos", "0.05", "--checkpoint", "ckpt", "--resume"]
+    )
+    assert args.chaos == 0.05
+    assert args.checkpoint == "ckpt"
+    assert args.resume
+
+
+def test_resume_without_checkpoint_rejected(capsys):
+    assert main(["ext-chaos", "--resume"]) == 2
+    assert "requires --checkpoint" in capsys.readouterr().err

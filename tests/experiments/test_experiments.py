@@ -6,7 +6,6 @@ benchmarks.  These tests pin the shape so regressions in the substrate
 or analysis surface immediately.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError
@@ -23,7 +22,10 @@ class TestRegistry:
             "fig1", "fig2", "tab1", "fig3", "tab2", "fig4",
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
         }
-        extension_ids = {"ext-cc", "ext-lb", "ext-pacing", "ext-failures", "ext-netsim"}
+        extension_ids = {
+            "ext-cc", "ext-lb", "ext-pacing", "ext-failures", "ext-netsim",
+            "ext-chaos",
+        }
         assert set(EXPERIMENTS) == paper_ids | extension_ids
 
     def test_unknown_rejected(self):

@@ -62,6 +62,60 @@ class TestExtNetsim:
             assert synth_share > 0.9
 
 
+class TestExtChaos:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "ext-chaos",
+            seed=0,
+            fault_rate=0.2,
+            n_windows=4,
+            window_s=1.0,
+            campaign_racks_per_app=1,
+            campaign_hours=2,
+            campaign_window_s=0.5,
+        )
+
+    def test_campaign_survives_injected_failures(self, result):
+        rows = rows_dict(result)
+        assert rows["campaign windows planned"] == 6
+        ok, degraded, failed = (
+            int(x) for x in str(rows["windows ok / degraded / failed"]).split(" / ")
+        )
+        assert ok + degraded + failed == 6
+        completion = float(str(rows["completion at 20% window-failure rate"]).rstrip("%"))
+        assert completion == pytest.approx(100.0 * (1 - failed / 6))
+
+    def test_wraparound_residual_is_exactly_zero(self, result):
+        assert rows_dict(result)["32-bit wraparound residual (bytes)"] == 0
+
+    def test_reported_bound_covers_measured_shift(self, result):
+        for metric, paper, measured in result.rows:
+            if not metric.startswith("fig3 burst-CDF shift"):
+                continue
+            bound = float(str(paper).split("bound")[1].strip())
+            ks = float(str(measured).split(" ")[0])
+            assert ks <= bound
+
+    def test_checkpointed_run_resumes(self, tmp_path):
+        kwargs = dict(
+            seed=3,
+            fault_rate=0.3,
+            n_windows=2,
+            window_s=0.5,
+            campaign_racks_per_app=1,
+            campaign_hours=2,
+            campaign_window_s=0.5,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        first = run_experiment("ext-chaos", **kwargs)
+        resumed = run_experiment("ext-chaos", resume=True, **kwargs)
+        assert (tmp_path / "ckpt" / "manifest.jsonl").exists()
+        assert rows_dict(resumed)["windows ok / degraded / failed"] == rows_dict(
+            first
+        )["windows ok / degraded / failed"]
+
+
 class TestEcmpLinkWeights:
     def test_zero_weight_link_gets_no_flows(self, rng):
         shares = _ecmp_weight_segments(

@@ -6,7 +6,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.netsim import FabricCloud, Simulator
 from repro.netsim.fabric import _PacedQueue
 from repro.netsim.packet import FiveTuple, Packet
-from repro.units import gbps, ms, us
+from repro.units import gbps, ms
 
 
 def packet(src="a", dst="b", size=1500, seq=0):

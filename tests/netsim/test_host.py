@@ -6,7 +6,7 @@ from repro.errors import ConfigError
 from repro.netsim import Simulator, build_rack
 from repro.netsim.host import Nic, Server, WindowedTransport
 from repro.netsim.link import Link
-from repro.units import MTU, gbps, ms, us
+from repro.units import MTU, gbps, ms
 
 
 class TestNic:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.netsim import BufferPolicy, Link, SharedBuffer, Simulator
+from repro.netsim import BufferPolicy, Link, SharedBuffer
 from repro.netsim.packet import FiveTuple, Packet
 from repro.netsim.port import (
     SIZE_BIN_EDGES,

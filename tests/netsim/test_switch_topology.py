@@ -11,7 +11,7 @@ from repro.netsim import (
     build_rack,
 )
 from repro.netsim.packet import FiveTuple, Packet
-from repro.units import gbps, ms
+from repro.units import ms
 
 
 class TestTorSwitchConfig:

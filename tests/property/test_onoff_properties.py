@@ -1,7 +1,7 @@
 """Property-based tests for the calibrated on/off generator models."""
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.synth.calibration import DurationModel, GapModel

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.campaign import CampaignWindow
 from repro.errors import ConfigError
-from repro.synth.calibration import APP_PROFILES
 from repro.synth.dataset import (
     SyntheticCampaignSource,
     default_plan,

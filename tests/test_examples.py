@@ -55,6 +55,12 @@ def test_pod_web_cache(capsys):
     assert "fan-in toward servers" in out
 
 
+def test_chaos_campaign(capsys):
+    out = run_example("chaos_campaign.py", capsys=capsys)
+    assert "traces byte-identical to uninterrupted run: True" in out
+    assert "interrupted after" in out
+
+
 @pytest.mark.slow
 def test_quickstart(capsys):
     out = run_example("quickstart.py", capsys=capsys)
