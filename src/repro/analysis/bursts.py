@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.runs import interior_run_lengths, run_lengths
+from repro.core.kernels import scalar_enabled, scalar_hot_mask
 from repro.core.samples import CounterTrace
 from repro.errors import AnalysisError
 from repro.units import ms
@@ -32,6 +33,8 @@ def hot_mask(utilization: np.ndarray, threshold: float = HOT_THRESHOLD) -> np.nd
         raise AnalysisError("hot_mask expects a 1-D utilization series")
     if not 0.0 < threshold < 1.0:
         raise AnalysisError(f"threshold {threshold} outside (0, 1)")
+    if scalar_enabled():
+        return scalar_hot_mask(utilization, threshold)
     return utilization > threshold
 
 
@@ -187,6 +190,107 @@ def burst_cdf_delta_bound(
     return min(1.0, clip_term + dkw_term)
 
 
+def _count_clipped_bursts(masks: list[np.ndarray]) -> int:
+    """Distinct observed bursts touching a gap-adjacent segment edge.
+
+    A burst is clipped when it touches a side of a segment that borders
+    a gap (segment interiors are exact; trace start/end are ordinary
+    window boundaries, same as the clean analysis).  A burst spanning an
+    *entire* segment starts exactly at one split point and ends at the
+    next, but it is still one clipped burst — counting both edges would
+    double-count it and inflate the reported CDF bound.
+    """
+    n_clipped = 0
+    last = len(masks) - 1
+    for i, mask in enumerate(masks):
+        if len(mask) == 0:
+            continue
+        left = i > 0 and bool(mask[0])
+        right = i < last and bool(mask[-1])
+        if left and right and bool(mask.all()):
+            n_clipped += 1
+        else:
+            n_clipped += int(left) + int(right)
+    return n_clipped
+
+
+def _run_bounds(mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(starts, stops) of every maximal True run of a boolean array."""
+    padded = np.concatenate(([False], mask, [False]))
+    diff = np.diff(padded.astype(np.int8))
+    return np.flatnonzero(diff == 1), np.flatnonzero(diff == -1)
+
+
+def _gap_aware_core_segmented(
+    trace: CounterTrace, nominal: int, threshold: float, tolerance: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Reference implementation: materialize segment traces and pool.
+
+    Returns ``(durations_ns, gaps_ns, pooled_mask, n_segments,
+    n_clipped)``.  This is the oracle the vectorized core is verified
+    against, and the path taken under ``REPRO_SCALAR=1``.
+    """
+    segments = trace.split_at_gaps(nominal, tolerance)
+    if not segments:
+        raise AnalysisError(f"trace {trace.name!r} has no analyzable segment")
+    masks = [hot_mask(segment.utilization(), threshold) for segment in segments]
+    durations = np.concatenate([burst_durations_ns(m, nominal) for m in masks])
+    gaps = np.concatenate([interburst_gaps_ns(m, nominal) for m in masks])
+    pooled_mask = np.concatenate(masks)
+    return durations, gaps, pooled_mask, len(segments), _count_clipped_bursts(masks)
+
+
+def _gap_aware_core_vectorized(
+    trace: CounterTrace, nominal: int, threshold: float, tolerance: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Vectorized gap-aware core: no segment traces are materialized.
+
+    Works entirely in interval space: gap intervals split the trace into
+    maximal non-gap stretches (exactly the segments
+    :meth:`~repro.core.samples.CounterTrace.split_at_gaps` would build),
+    and every statistic is derived from the full-trace utilization and
+    gap masks with run-length arithmetic.  Equivalence with
+    :func:`_gap_aware_core_segmented` is asserted exactly in
+    ``tests/property/test_kernel_equivalence.py``.
+    """
+    util = trace.utilization()
+    hot = hot_mask(util, threshold)
+    ok = ~trace.missing_interval_mask(nominal, tolerance)
+    n = len(hot)
+    if not ok.any():
+        raise AnalysisError(f"trace {trace.name!r} has no analyzable segment")
+    effective_hot = hot & ok
+    # Bursts: hot runs never cross a gap interval (it is forced cold),
+    # which is precisely the per-segment extraction, pooled in order.
+    durations = run_lengths(effective_hot, True) * nominal
+    # Inter-burst gaps: cold runs bounded by hot intervals on both sides
+    # *within one stretch* — a neighbor that is a gap interval (or the
+    # trace boundary) disqualifies the run, same as interior_run_lengths
+    # on the segment mask.
+    cold = ~hot & ok
+    cold_starts, cold_stops = _run_bounds(cold)
+    interior = (cold_starts > 0) & (cold_stops < n)
+    left_neighbor = np.clip(cold_starts - 1, 0, max(n - 1, 0))
+    right_neighbor = np.clip(cold_stops, 0, max(n - 1, 0))
+    interior &= effective_hot[left_neighbor] & effective_hot[right_neighbor]
+    gaps = (cold_stops - cold_starts)[interior] * nominal
+    pooled_mask = hot[ok]
+    # Clipped-burst count with the same one-per-burst semantics as
+    # _count_clipped_bursts: a stretch that is entirely hot holds a
+    # single burst touching both of its gap-adjacent edges.
+    ok_starts, ok_stops = _run_bounds(ok)
+    k = len(ok_starts)
+    order = np.arange(k)
+    left = (order > 0) & hot[ok_starts]
+    right = (order < k - 1) & hot[ok_stops - 1]
+    hot_csum = np.concatenate(([0], np.cumsum(hot.astype(np.int64))))
+    whole = (hot_csum[ok_stops] - hot_csum[ok_starts]) == (ok_stops - ok_starts)
+    spanning = left & right & whole
+    n_clipped = int(spanning.sum())
+    n_clipped += int((left & ~spanning).sum()) + int((right & ~spanning).sum())
+    return durations, gaps, pooled_mask, k, n_clipped
+
+
 def extract_bursts_gap_aware(
     trace: CounterTrace,
     threshold: float = HOT_THRESHOLD,
@@ -202,15 +306,17 @@ def extract_bursts_gap_aware(
     bounds the shift of the burst-duration CDF relative to the unobserved
     full trace, so degraded figures come with an explicit error bar
     instead of a silent bias.
+
+    The default implementation is fully vectorized (one pass over the
+    interval arrays, no per-segment trace objects); ``REPRO_SCALAR=1``
+    selects the segment-materializing reference implementation instead.
     """
     nominal = trace.nominal_interval_ns()
-    segments = trace.split_at_gaps(nominal, tolerance)
-    if not segments:
-        raise AnalysisError(f"trace {trace.name!r} has no analyzable segment")
-    masks = [hot_mask(segment.utilization(), threshold) for segment in segments]
-    durations = np.concatenate([burst_durations_ns(m, nominal) for m in masks])
-    gaps = np.concatenate([interburst_gaps_ns(m, nominal) for m in masks])
-    pooled_mask = np.concatenate(masks)
+    if scalar_enabled():
+        core = _gap_aware_core_segmented(trace, nominal, threshold, tolerance)
+    else:
+        core = _gap_aware_core_vectorized(trace, nominal, threshold, tolerance)
+    durations, gaps, pooled_mask, n_segments, n_clipped = core
     stats = BurstStats(
         n_bursts=len(durations),
         n_samples=len(pooled_mask),
@@ -221,24 +327,12 @@ def extract_bursts_gap_aware(
         microburst_fraction=microburst_fraction(durations),
     )
     n_missing = trace.n_missing_instants(nominal)
-    # A burst is clipped when it touches a side of a segment that borders
-    # a gap (segment interiors are exact; trace start/end are ordinary
-    # window boundaries, same as the clean analysis).
-    n_clipped = 0
-    last = len(masks) - 1
-    for i, mask in enumerate(masks):
-        if len(mask) == 0:
-            continue
-        if i > 0 and mask[0]:
-            n_clipped += 1
-        if i < last and mask[-1]:
-            n_clipped += 1
     bound = 0.0
-    if n_missing > 0 or len(segments) > 1:
+    if n_missing > 0 or n_segments > 1:
         bound = burst_cdf_delta_bound(len(durations), n_clipped)
     return GapAwareBurstStats(
         stats=stats,
-        n_segments=len(segments),
+        n_segments=n_segments,
         n_missing_instants=n_missing,
         n_clipped_bursts=n_clipped,
         coverage=trace.coverage_fraction(nominal),

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.kernels import scalar_enabled, scalar_run_lengths
 from repro.errors import AnalysisError
 
 
@@ -50,6 +51,8 @@ def run_lengths(mask: np.ndarray, value: bool) -> np.ndarray:
         raise AnalysisError("run_lengths expects a one-dimensional mask")
     if len(mask) == 0:
         return np.zeros(0, dtype=np.int64)
+    if scalar_enabled():
+        return scalar_run_lengths(mask, value)
     target = mask == value
     padded = np.concatenate(([False], target, [False]))
     diff = np.diff(padded.astype(np.int8))

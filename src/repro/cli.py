@@ -56,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of tables",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "shard campaign collection across N worker processes "
+            "(results are byte-identical to a serial run; experiments "
+            "without a campaign to shard run serially)"
+        ),
+    )
+    parser.add_argument(
         "--chaos",
         type=float,
         default=None,
@@ -134,9 +145,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     json_payload = []
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
     for experiment_id in targets:
         start = time.time()
         kwargs = _scale_kwargs(experiment_id, args.scale)
+        if args.workers != 1:
+            kwargs["workers"] = args.workers
         if experiment_id == "ext-chaos":
             if args.chaos is not None:
                 kwargs["fault_rate"] = args.chaos

@@ -25,6 +25,8 @@ from repro.core.campaign import (
     WindowOutcome,
     WindowStatus,
 )
+from repro.core.parallel import ParallelCampaign, Shard, shard_plan
+from repro.core.seeding import site_rng, stable_site_key, window_rng
 from repro.core.snmp import CoarseSample, coarse_resample
 from repro.core.adaptive import AdaptiveConfig, AdaptiveSampler, AdaptiveStats
 from repro.core.streaming import ReservoirSampler, StreamingBurstStats
@@ -50,6 +52,12 @@ __all__ = [
     "RetryPolicy",
     "WindowOutcome",
     "WindowStatus",
+    "ParallelCampaign",
+    "Shard",
+    "shard_plan",
+    "site_rng",
+    "stable_site_key",
+    "window_rng",
     "CoarseSample",
     "coarse_resample",
     "AdaptiveConfig",

@@ -1,0 +1,154 @@
+"""Scalar reference kernels for the vectorized analysis hot paths.
+
+The production analysis pipeline runs on numpy kernels (wrap-corrected
+deltas, gap masks, run-length extraction, ECDF construction/evaluation).
+This module holds the *scalar oracles*: deliberately naive pure-Python
+loop implementations of the same kernels, kept as executable
+specifications.  The equivalence suite
+(``tests/property/test_kernel_equivalence.py``) asserts the vectorized
+kernels match these oracles exactly — dtype and all — on arbitrary
+inputs, so the fast paths can be optimized freely without silently
+changing results.
+
+Setting ``REPRO_SCALAR=1`` in the environment routes every dispatching
+call site through the oracles instead, which is the escape hatch for
+bisecting a suspected vectorization bug in a full pipeline run (and the
+baseline for the throughput benchmarks in ``benchmarks/bench_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Environment variable selecting the scalar reference kernels.
+SCALAR_ENV = "REPRO_SCALAR"
+
+
+def scalar_enabled() -> bool:
+    """Whether the ``REPRO_SCALAR=1`` escape hatch is active.
+
+    Read per call (not cached at import) so tests and bisection sessions
+    can toggle it without reloading modules.
+    """
+    return os.environ.get(SCALAR_ENV, "") == "1"
+
+
+# -- cumulative-counter deltas ---------------------------------------------------
+
+
+def scalar_deltas(values: np.ndarray, wrap_bits: int | None = None) -> np.ndarray:
+    """Reference per-interval increments with wraparound correction.
+
+    Matches ``np.diff(values, axis=0)`` plus the ``+2**wrap_bits`` fixup
+    of negative diffs, element by element.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    n_out = max(n - 1, 0)
+    # One subtraction fixes the output dtype to numpy's promotion rule,
+    # exactly as np.diff would choose it.
+    if n >= 2:
+        dtype = (values[1:2] - values[0:1]).dtype
+    else:
+        dtype = values.dtype
+    out = np.zeros((n_out,) + values.shape[1:], dtype=dtype)
+    if n_out == 0:
+        return out
+    period = None if wrap_bits is None else dtype.type(1 << int(wrap_bits))
+    flat_values = values.reshape(n, -1)
+    flat_out = out.reshape(n_out, -1)
+    for i in range(n_out):
+        for j in range(flat_values.shape[1]):
+            delta = flat_values[i + 1, j] - flat_values[i, j]
+            if period is not None and delta < 0:
+                delta = delta + period
+            flat_out[i, j] = delta
+    return out
+
+
+# -- gap masks -------------------------------------------------------------------
+
+
+def scalar_missing_interval_mask(
+    interval_durations_ns: np.ndarray, nominal_interval_ns: int, tolerance: float
+) -> np.ndarray:
+    """Reference gap mask: interval longer than ``tolerance`` nominals."""
+    intervals = np.asarray(interval_durations_ns)
+    out = np.zeros(len(intervals), dtype=bool)
+    cutoff = tolerance * nominal_interval_ns
+    for i in range(len(intervals)):
+        out[i] = intervals[i] > cutoff
+    return out
+
+
+# -- run-length extraction -------------------------------------------------------
+
+
+def scalar_run_lengths(mask: np.ndarray, value: bool) -> np.ndarray:
+    """Reference lengths of maximal runs equal to ``value``, in order."""
+    mask = np.asarray(mask, dtype=bool)
+    lengths: list[int] = []
+    current = 0
+    for bit in mask.tolist():
+        if bit == value:
+            current += 1
+        elif current:
+            lengths.append(current)
+            current = 0
+    if current:
+        lengths.append(current)
+    return np.asarray(lengths, dtype=np.int64)
+
+
+def scalar_interior_run_lengths(mask: np.ndarray, value: bool) -> np.ndarray:
+    """Reference run lengths excluding runs touching either boundary."""
+    mask = np.asarray(mask, dtype=bool)
+    lengths = scalar_run_lengths(mask, value)
+    if len(lengths) == 0:
+        return lengths
+    start = 1 if bool(mask[0]) == value else 0
+    stop = len(lengths) - 1 if bool(mask[-1]) == value else len(lengths)
+    if stop <= start:
+        return np.zeros(0, dtype=np.int64)
+    return lengths[start:stop]
+
+
+def scalar_hot_mask(utilization: np.ndarray, threshold: float) -> np.ndarray:
+    """Reference hot/not-hot classification."""
+    utilization = np.asarray(utilization, dtype=np.float64)
+    out = np.zeros(len(utilization), dtype=bool)
+    for i in range(len(utilization)):
+        out[i] = utilization[i] > threshold
+    return out
+
+
+# -- empirical CDF ---------------------------------------------------------------
+
+
+def scalar_sorted(samples: np.ndarray) -> np.ndarray:
+    """Reference CDF construction: the sorted sample."""
+    samples = np.asarray(samples, dtype=np.float64)
+    return np.asarray(sorted(samples.tolist()), dtype=np.float64)
+
+
+def scalar_ecdf_probs(sorted_samples: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Reference right-continuous ECDF evaluation: P(X <= x) per query.
+
+    Matches ``np.searchsorted(sorted, xs, side="right") / n``.
+    """
+    sorted_samples = np.asarray(sorted_samples, dtype=np.float64)
+    xs = np.asarray(xs, dtype=np.float64)
+    n = len(sorted_samples)
+    values = sorted_samples.tolist()
+    probs = []
+    for x in xs.reshape(-1).tolist():
+        count = 0
+        for value in values:
+            if value <= x:
+                count += 1
+            else:
+                break
+        probs.append(count / n)
+    return np.asarray(probs, dtype=np.float64).reshape(xs.shape)

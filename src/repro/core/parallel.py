@@ -1,0 +1,276 @@
+"""Parallel sharded campaign execution.
+
+The paper's measurement plane polls 30 ToR switches *concurrently* for 24
+hours; this module gives the campaign runner the same shape.  A
+:class:`~repro.core.campaign.CampaignPlan` is sharded by (rack, window
+range) — a deterministic layout that depends only on the plan, never on
+the worker count — and each shard is executed by a full
+:class:`~repro.core.campaign.MeasurementCampaign` (the PR-1 retry,
+timeout, and JSONL-checkpoint machinery, unchanged) inside a
+``ProcessPoolExecutor`` worker.  Shard results are merged back in plan
+order.
+
+Determinism contract
+--------------------
+Serial and parallel runs produce **byte-identical** traces because no
+randomness depends on execution order: window sources derive their
+per-window stream from ``(campaign_seed, rack_id, window_idx)`` and
+fault injectors from ``(plan_seed, site)`` (see
+:mod:`repro.core.seeding`).  Sources are pickled to workers, so any
+mutable source state is shard-local; a conforming source must therefore
+key *all* randomness by window identity.  The golden test
+``tests/integration/test_parallel_determinism.py`` holds this contract
+at 1, 2, and 4 workers, under fault injection, and across
+checkpoint/resume.
+
+Checkpoint layout
+-----------------
+``checkpoint_dir/shards.json`` records the sharding layout and plan
+digest; ``checkpoint_dir/shard_NNN/`` holds each shard's ordinary
+campaign checkpoint (manifest + per-window archives).  Because the
+layout is worker-count-invariant, a campaign checkpointed at one worker
+count resumes correctly at any other.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.campaign import (
+    CampaignPlan,
+    CampaignResult,
+    CampaignWindow,
+    MeasurementCampaign,
+    RetryPolicy,
+    WindowOutcome,
+    WindowSource,
+)
+from repro.core.samples import CounterTrace
+from repro.errors import CollectionError, ConfigError
+
+#: Version of the ``shards.json`` layout header.
+_LAYOUT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Shard:
+    """One unit of parallel work: a slice of the plan's windows.
+
+    ``indices`` are global window indices into ``plan.windows``,
+    ascending, so the merge step is a plain scatter.
+    """
+
+    shard_id: int
+    indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def shard_plan(
+    plan: CampaignPlan, max_windows_per_shard: int | None = None
+) -> tuple[Shard, ...]:
+    """Deterministic (rack, window-range) sharding of a campaign plan.
+
+    Windows are grouped by rack (racks in order of first appearance, each
+    rack's windows in plan order — the paper's one-poller-per-ToR
+    discipline), then optionally split into chunks of at most
+    ``max_windows_per_shard`` windows so a single giant rack can still
+    fan out.  The layout depends only on ``(plan, max_windows_per_shard)``
+    — never on worker count — which is what makes checkpoints portable
+    across worker counts.
+    """
+    if max_windows_per_shard is not None and max_windows_per_shard <= 0:
+        raise ConfigError("max_windows_per_shard must be positive")
+    by_rack: dict[str, list[int]] = {}
+    for index, window in enumerate(plan.windows):
+        by_rack.setdefault(window.rack_id, []).append(index)
+    shards: list[Shard] = []
+    for indices in by_rack.values():
+        step = max_windows_per_shard or len(indices) or 1
+        for start in range(0, len(indices), step):
+            chunk = indices[start : start + step]
+            shards.append(Shard(shard_id=len(shards), indices=tuple(chunk)))
+    return tuple(shards)
+
+
+def _source_fault_stats(source: WindowSource) -> dict[str, int] | None:
+    """Fault-injection tally of a source, when it carries an injector."""
+    stats = getattr(getattr(source, "injector", None), "stats", None)
+    as_dict = getattr(stats, "as_dict", None)
+    return as_dict() if callable(as_dict) else None
+
+
+def _collect_shard(
+    windows: tuple[CampaignWindow, ...],
+    source: WindowSource,
+    retry: RetryPolicy | None,
+    checkpoint_dir: str | None,
+    resume: bool,
+) -> tuple[list[WindowOutcome], list[dict[str, CounterTrace]], dict[str, int] | None]:
+    """Run one shard as an ordinary resilient campaign (worker entry point).
+
+    Module-level so it pickles; the ``source`` argument arrives as a
+    process-local copy in pool workers, which is exactly what keeps
+    mutable source state (retry attempt counters, fault tallies)
+    shard-local and order-independent.
+    """
+    subplan = CampaignPlan(windows=windows)
+    campaign = MeasurementCampaign(
+        subplan, source, retry=retry, checkpoint_dir=checkpoint_dir
+    )
+    result = campaign.run(resume=resume)
+    return result.outcomes or [], result.traces, _source_fault_stats(source)
+
+
+class ParallelCampaign:
+    """Executes a campaign plan across process workers, deterministically.
+
+    Parameters
+    ----------
+    plan / source:
+        As for :class:`~repro.core.campaign.MeasurementCampaign`.  With
+        ``workers > 1`` the source must be picklable and must derive all
+        randomness from window identity (see module docstring).
+    retry:
+        Per-window retry policy, applied inside every shard.
+    checkpoint_dir:
+        Root of the sharded checkpoint layout (see module docstring).
+    workers:
+        Process count.  ``1`` runs the shards sequentially in-process
+        (no pickling requirement) but keeps the identical shard/merge
+        path and checkpoint layout, so results and checkpoints match the
+        multi-worker run byte for byte.
+    max_windows_per_shard:
+        Optional cap splitting one rack's windows across several shards.
+
+    After :meth:`run`, :attr:`fault_stats` holds the aggregated fault
+    tally across shards when the source carries a
+    :class:`~repro.faults.FaultInjector` (``None`` otherwise).
+    """
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        source: WindowSource,
+        retry: RetryPolicy | None = None,
+        checkpoint_dir: str | Path | None = None,
+        workers: int = 1,
+        max_windows_per_shard: int | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ConfigError(f"workers must be positive, got {workers}")
+        self.plan = plan
+        self.source = source
+        self.retry = retry
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.workers = workers
+        self.shards = shard_plan(plan, max_windows_per_shard)
+        self.fault_stats: dict[str, int] | None = None
+
+    # -- checkpoint layout -------------------------------------------------------
+
+    @property
+    def _layout_path(self) -> Path:
+        assert self.checkpoint_dir is not None
+        return self.checkpoint_dir / "shards.json"
+
+    def _shard_dir(self, shard: Shard) -> str | None:
+        if self.checkpoint_dir is None:
+            return None
+        return str(self.checkpoint_dir / f"shard_{shard.shard_id:03d}")
+
+    def _layout_record(self) -> dict:
+        return {
+            "version": _LAYOUT_VERSION,
+            "plan_digest": self.plan.digest(),
+            "n_shards": len(self.shards),
+            "shard_sizes": [len(shard) for shard in self.shards],
+        }
+
+    def _prepare_checkpoint(self, resume: bool) -> None:
+        if self.checkpoint_dir is None:
+            return
+        record = self._layout_record()
+        if resume and self._layout_path.exists():
+            existing = json.loads(self._layout_path.read_text())
+            for key in ("plan_digest", "n_shards", "shard_sizes"):
+                if existing.get(key) != record[key]:
+                    raise CollectionError(
+                        f"checkpoint at {self.checkpoint_dir} was written with a "
+                        f"different {key} ({existing.get(key)} != {record[key]}); "
+                        "refusing to resume across a sharding-layout change"
+                    )
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._layout_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    # -- execution ---------------------------------------------------------------
+
+    def _shard_args(self, shard: Shard, resume: bool) -> tuple:
+        windows = tuple(self.plan.windows[i] for i in shard.indices)
+        return (windows, self.source, self.retry, self._shard_dir(shard), resume)
+
+    def run(self, resume: bool = False) -> CampaignResult:
+        """Collect every shard and merge results back into plan order.
+
+        The merged :class:`CampaignResult` is indistinguishable from a
+        serial :meth:`MeasurementCampaign.run` of the same plan — same
+        traces, same per-window outcomes — for any conforming source.
+        """
+        self._prepare_checkpoint(resume)
+        results: dict[int, tuple] = {}
+        if self.workers == 1 or len(self.shards) <= 1:
+            for shard in self.shards:
+                results[shard.shard_id] = _collect_shard(*self._shard_args(shard, resume))
+            # In-process shards share one source instance, so per-shard
+            # tallies are cumulative snapshots: keep only the final one.
+            self.fault_stats = _source_fault_stats(self.source)
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(self.shards))) as pool:
+                futures = {
+                    pool.submit(_collect_shard, *self._shard_args(shard, resume)): shard
+                    for shard in self.shards
+                }
+                for future in as_completed(futures):
+                    results[futures[future].shard_id] = future.result()
+            self._aggregate_fault_stats(results)
+        return self._merge(results)
+
+    def _aggregate_fault_stats(self, results: dict[int, tuple]) -> None:
+        totals: dict[str, int] = {}
+        seen = False
+        for _, _, stats in results.values():
+            if stats is None:
+                continue
+            seen = True
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + value
+        self.fault_stats = totals if seen else None
+
+    def _merge(self, results: dict[int, tuple]) -> CampaignResult:
+        n = len(self.plan.windows)
+        outcomes: list[WindowOutcome | None] = [None] * n
+        traces: list[dict[str, CounterTrace] | None] = [None] * n
+        for shard in self.shards:
+            shard_outcomes, shard_traces, _ = results[shard.shard_id]
+            for local, global_index in enumerate(shard.indices):
+                outcome = shard_outcomes[local]
+                outcomes[global_index] = WindowOutcome(
+                    index=global_index,
+                    window=outcome.window,
+                    status=outcome.status,
+                    attempts=outcome.attempts,
+                    error=outcome.error,
+                )
+                traces[global_index] = shard_traces[local]
+        missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
+        if missing:
+            raise CollectionError(
+                f"shard merge left {len(missing)} windows uncovered "
+                f"(first: {missing[:5]}) — sharding must partition the plan"
+            )
+        return CampaignResult(plan=self.plan, traces=traces, outcomes=outcomes)

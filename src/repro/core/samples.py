@@ -14,6 +14,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.kernels import (
+    scalar_deltas,
+    scalar_enabled,
+    scalar_missing_interval_mask,
+)
 from repro.errors import AnalysisError
 from repro.units import NS_PER_S
 
@@ -104,14 +109,17 @@ class CounterTrace:
             raise AnalysisError(f"deltas undefined for {self.kind} trace {self.name!r}")
         if wrap_bits is None:
             wrap_bits = self.meta.get("counter_bits")
-        deltas = np.diff(self.values, axis=0)
-        if wrap_bits is not None:
-            if not 1 <= int(wrap_bits) <= 62:
-                raise AnalysisError(
-                    f"counter width {wrap_bits} not correctable in int64 arithmetic"
-                )
-            period = np.int64(1) << int(wrap_bits)
-            deltas = np.where(deltas < 0, deltas + period, deltas)
+        if wrap_bits is not None and not 1 <= int(wrap_bits) <= 62:
+            raise AnalysisError(
+                f"counter width {wrap_bits} not correctable in int64 arithmetic"
+            )
+        if scalar_enabled():
+            deltas = scalar_deltas(self.values, wrap_bits)
+        else:
+            deltas = np.diff(self.values, axis=0)
+            if wrap_bits is not None:
+                period = np.int64(1) << int(wrap_bits)
+                deltas = np.where(deltas < 0, deltas + period, deltas)
         if np.any(deltas < 0):
             raise AnalysisError(f"cumulative counter {self.name!r} went backwards")
         return deltas
@@ -141,6 +149,10 @@ class CounterTrace:
         nominal = nominal_interval_ns or self.nominal_interval_ns()
         if nominal <= 0:
             raise AnalysisError("nominal interval must be positive")
+        if scalar_enabled():
+            return scalar_missing_interval_mask(
+                self.interval_durations_ns(), nominal, tolerance
+            )
         return self.interval_durations_ns() > tolerance * nominal
 
     def n_missing_instants(self, nominal_interval_ns: int | None = None) -> int:

@@ -1,0 +1,51 @@
+"""Deterministic seed derivation shared by every parallelizable component.
+
+Serial and parallel campaign runs must produce byte-identical traces, so
+*nothing* stochastic may depend on call order, worker count, or shard
+assignment.  The rule, enforced here as the single source of truth, is:
+
+    every random stream is keyed by (root seed, stable site identity)
+
+where the site identity names the affected window / counter / file as a
+string (``"web-rack3|7|down0"``).  The synthetic campaign source derives
+its per-window generator from ``(campaign_seed, rack_id, window_idx)``
+and the fault injector derives its per-site generator from
+``(plan_seed, site)`` — both through the helpers below — so a window
+collected by shard 5 of a 4-worker run sees exactly the randomness it
+would in a sequential run, a retry, or a checkpointed resume.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def stable_site_key(*parts: object) -> int:
+    """CRC32 of ``"part0|part1|..."`` — a stable, process-independent key.
+
+    Python's built-in ``hash`` is salted per process, so it can never be
+    used for seeding; this digest is identical across processes, runs,
+    and platforms.
+    """
+    return zlib.crc32("|".join(str(part) for part in parts).encode())
+
+
+def window_rng(campaign_seed: int, rack_id: str, window_idx: int) -> np.random.Generator:
+    """Generator for one campaign window, independent of execution order.
+
+    Keyed by ``(campaign_seed, rack_id, window_idx)`` so any shard of any
+    worker reproduces the same stream for the same window.
+    """
+    return np.random.default_rng(stable_site_key(campaign_seed, rack_id, window_idx))
+
+
+def site_rng(seed: int, site: str) -> np.random.Generator:
+    """Generator for one named injection/collection site.
+
+    Seeds with the ``[seed, crc32(site)]`` entropy sequence so streams
+    for different sites are independent but each is fully determined by
+    ``(seed, site)``.
+    """
+    return np.random.default_rng([seed, zlib.crc32(site.encode())])

@@ -21,6 +21,7 @@ from repro.analysis.bursts import (
 )
 from repro.analysis.cdf import EmpiricalCdf
 from repro.core.campaign import MeasurementCampaign, RetryPolicy, WindowStatus
+from repro.core.parallel import ParallelCampaign
 from repro.experiments.common import ExperimentResult, app_byte_traces
 from repro.faults import FaultInjector, FaultPlan, FaultyWindowSource
 from repro.synth.dataset import SyntheticCampaignSource, default_plan
@@ -35,7 +36,8 @@ def _chaos_campaign(
     racks_per_app: int,
     hours: int,
     window_s: float,
-) -> tuple[dict[str, int], float, FaultInjector]:
+    workers: int,
+) -> tuple[dict[str, int], float, dict[str, int]]:
     plan = default_plan(
         racks_per_app=racks_per_app,
         hours=hours,
@@ -52,14 +54,19 @@ def _chaos_campaign(
         )
     )
     source = FaultyWindowSource(SyntheticCampaignSource(seed=seed), injector)
-    campaign = MeasurementCampaign(
-        plan,
-        source,
-        retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
-        checkpoint_dir=checkpoint_dir,
-    )
-    result = campaign.run(resume=resume)
-    return result.status_counts(), result.completion_fraction, injector
+    retry = RetryPolicy(max_attempts=3, backoff_s=0.0)
+    if workers > 1:
+        campaign = ParallelCampaign(
+            plan, source, retry=retry, checkpoint_dir=checkpoint_dir, workers=workers
+        )
+        result = campaign.run(resume=resume)
+        fault_stats = campaign.fault_stats or {}
+    else:
+        result = MeasurementCampaign(
+            plan, source, retry=retry, checkpoint_dir=checkpoint_dir
+        ).run(resume=resume)
+        fault_stats = injector.stats.as_dict()
+    return result.status_counts(), result.completion_fraction, fault_stats
 
 
 def _degrade(traces, seed: int, loss_rate: float):
@@ -82,6 +89,7 @@ def run(
     campaign_racks_per_app: int = 2,
     campaign_hours: int = 4,
     campaign_window_s: float = 1.0,
+    workers: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ext-chaos",
@@ -89,7 +97,7 @@ def run(
     )
 
     # -- resilient campaign under window failures -----------------------------
-    counts, completion, injector = _chaos_campaign(
+    counts, completion, fault_stats = _chaos_campaign(
         seed,
         fault_rate,
         checkpoint_dir,
@@ -97,6 +105,7 @@ def run(
         campaign_racks_per_app,
         campaign_hours,
         campaign_window_s,
+        workers,
     )
     n_planned = sum(counts.values())
     result.add("campaign windows planned", "-", n_planned)
@@ -114,7 +123,7 @@ def run(
     result.add(
         "transient faults recovered by retry",
         "all",
-        f"{injector.stats.transient_faults}",
+        f"{fault_stats.get('transient_faults', 0)}",
     )
 
     # -- gap-tolerant Fig 3 / Fig 6 statistics --------------------------------

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.errors import ConfigError
@@ -58,5 +59,23 @@ def get_experiment(experiment_id: str) -> Runner:
         ) from None
 
 
+def accepts_param(runner: Runner, name: str) -> bool:
+    """Whether a runner's signature takes ``name`` (or ``**kwargs``)."""
+    parameters = inspect.signature(runner).parameters
+    if name in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
+
+
+def supports_workers(experiment_id: str) -> bool:
+    """Whether an experiment can fan its campaign out across workers."""
+    return accepts_param(get_experiment(experiment_id), "workers")
+
+
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    return get_experiment(experiment_id)(**kwargs)
+    runner = get_experiment(experiment_id)
+    # ``workers`` is advisory: experiments without a campaign to shard
+    # (most figures run on pre-pooled traces) simply execute serially.
+    if "workers" in kwargs and not accepts_param(runner, "workers"):
+        kwargs = {k: v for k, v in kwargs.items() if k != "workers"}
+    return runner(**kwargs)

@@ -10,12 +10,12 @@ order, retries, or checkpoint/resume.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.samples import CounterTrace, ValueKind
+from repro.core.seeding import site_rng
 from repro.errors import FaultInjectionError
 from repro.faults.plan import FaultPlan
 
@@ -60,7 +60,7 @@ class FaultInjector:
 
     def rng_for(self, site: str) -> np.random.Generator:
         """Fresh generator for one injection site (stable across runs)."""
-        return np.random.default_rng([self.plan.seed, zlib.crc32(site.encode())])
+        return site_rng(self.plan.seed, site)
 
     # -- window-level faults -----------------------------------------------------
 

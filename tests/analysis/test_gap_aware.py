@@ -105,6 +105,29 @@ class TestGapAwareBursts:
         assert gap_aware.n_clipped_bursts == 2
         assert gap_aware.cdf_delta_bound > 0.0
 
+    def test_burst_filling_whole_segment_counted_once(self):
+        """Regression: a burst fragment that spans an *entire* segment —
+        starting exactly at the split point and running to the next gap —
+        used to be counted as clipped at both edges, inflating
+        ``n_clipped_bursts`` (and the reported CDF bound) by one.
+
+        One true burst over ticks 1..6, severed by gaps at ticks 2-3 and
+        7-8: fragment A (tick 1) clips the first segment's right edge,
+        fragment B (ticks 4-6) fills the middle segment end to end.
+        That's two clipped fragments, not three.
+        """
+        util = np.array([0.1] + [0.9] * 6 + [0.1] * 3)
+        keep = np.ones(11, dtype=bool)
+        keep[[3, 8]] = False
+        trace = trace_from_utilization(util, keep=keep)
+        gap_aware = extract_bursts_gap_aware(trace)
+        assert gap_aware.n_segments == 3
+        assert sorted(gap_aware.durations_ns.tolist()) == [
+            1 * INTERVAL,
+            3 * INTERVAL,
+        ]
+        assert gap_aware.n_clipped_bursts == 2
+
     def test_degenerate_trace_rejected(self):
         trace = trace_from_utilization([0.1])
         lonely = CounterTrace(

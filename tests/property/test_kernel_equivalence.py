@@ -1,0 +1,257 @@
+"""Equivalence suite: vectorized kernels == scalar reference oracles.
+
+The analysis hot paths (wrap-corrected deltas, gap masks, run-length /
+burst extraction, ECDF construction and evaluation) run on numpy
+kernels; :mod:`repro.core.kernels` keeps naive pure-Python oracles of
+the same computations.  These property tests assert the two agree
+*exactly* — values and dtypes — on arbitrary traces, including counter
+wraparound, gaps at segment boundaries, and empty / one-sample inputs,
+so the fast paths can be optimized without silently changing results.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.bursts import (
+    _gap_aware_core_segmented,
+    _gap_aware_core_vectorized,
+    burst_durations_ns,
+    extract_bursts,
+    hot_mask,
+    interburst_gaps_ns,
+)
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.runs import interior_run_lengths, run_lengths
+from repro.core.kernels import (
+    scalar_deltas,
+    scalar_ecdf_probs,
+    scalar_hot_mask,
+    scalar_interior_run_lengths,
+    scalar_missing_interval_mask,
+    scalar_run_lengths,
+    scalar_sorted,
+)
+from repro.core.samples import CounterTrace, ValueKind
+from repro.units import gbps, us
+
+INTERVAL = us(25)
+
+bool_arrays = arrays(dtype=bool, shape=st.integers(0, 200))
+
+utilizations = arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 200),
+    elements=st.floats(0.0, 1.2, allow_nan=False),
+)
+
+
+def assert_same(vectorized, scalar):
+    vectorized, scalar = np.asarray(vectorized), np.asarray(scalar)
+    assert vectorized.dtype == scalar.dtype
+    assert np.array_equal(vectorized, scalar)
+
+
+# -- wrap-corrected deltas -------------------------------------------------------
+
+
+@st.composite
+def cumulative_values(draw):
+    """Monotone int64 counter readings, optionally 0 or 1 sample long."""
+    n = draw(st.integers(0, 60))
+    increments = draw(
+        st.lists(st.integers(0, 2**33), min_size=n, max_size=n)
+    )
+    return np.cumsum(np.asarray(increments, dtype=np.int64)).astype(np.int64)
+
+
+@given(cumulative_values())
+def test_deltas_equivalence_unwrapped(values):
+    assert_same(np.diff(values), scalar_deltas(values))
+
+
+@given(cumulative_values(), st.sampled_from([32, 48]))
+def test_deltas_equivalence_wrapped(values, bits):
+    """Wrapped readings: both kernels recover the true increments."""
+    wrapped = np.mod(values, np.int64(1) << bits)
+    if len(values) < 2:
+        trace_deltas = np.zeros(0, dtype=np.int64)
+    else:
+        trace = CounterTrace(
+            timestamps_ns=INTERVAL * np.arange(len(values), dtype=np.int64),
+            values=wrapped,
+            kind=ValueKind.CUMULATIVE,
+            name="wrap",
+        )
+        trace_deltas = trace.deltas(wrap_bits=bits)
+    assert_same(trace_deltas, scalar_deltas(wrapped, wrap_bits=bits))
+    # Wrap correction is exact while no interval advances a full period.
+    true = np.diff(values)
+    if len(true) and true.max(initial=0) < (1 << bits):
+        assert np.array_equal(trace_deltas, true)
+
+
+@given(
+    st.integers(2, 40).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.integers(1, 400), min_size=n, max_size=n),
+        )
+    )
+)
+def test_gap_mask_equivalence(n_and_intervals):
+    n, interval_list = n_and_intervals
+    timestamps = np.concatenate(
+        ([0], np.cumsum(np.asarray(interval_list, dtype=np.int64)))
+    )
+    trace = CounterTrace(
+        timestamps_ns=timestamps,
+        values=np.zeros(n + 1, dtype=np.int64),
+        kind=ValueKind.CUMULATIVE,
+        name="gaps",
+    )
+    nominal = trace.nominal_interval_ns()
+    assert_same(
+        trace.missing_interval_mask(nominal),
+        scalar_missing_interval_mask(trace.interval_durations_ns(), nominal, 1.5),
+    )
+
+
+# -- run-length extraction -------------------------------------------------------
+
+
+@given(bool_arrays, st.booleans())
+def test_run_lengths_equivalence(mask, value):
+    assert_same(run_lengths(mask, value), scalar_run_lengths(mask, value))
+
+
+@given(bool_arrays, st.booleans())
+def test_interior_run_lengths_equivalence(mask, value):
+    assert_same(
+        interior_run_lengths(mask, value), scalar_interior_run_lengths(mask, value)
+    )
+
+
+@given(utilizations, st.floats(0.05, 0.95))
+def test_hot_mask_equivalence(utilization, threshold):
+    assert_same(
+        hot_mask(utilization, threshold), scalar_hot_mask(utilization, threshold)
+    )
+
+
+@given(utilizations, st.floats(0.05, 0.95))
+def test_burst_extraction_equivalence(utilization, threshold):
+    """Full burst summary agrees kernel-by-kernel with the oracles."""
+    mask = scalar_hot_mask(utilization, threshold)
+    stats = extract_bursts(utilization, INTERVAL, threshold)
+    assert_same(stats.durations_ns, scalar_run_lengths(mask, True) * INTERVAL)
+    assert_same(stats.gaps_ns, scalar_interior_run_lengths(mask, False) * INTERVAL)
+    assert_same(burst_durations_ns(mask, INTERVAL), stats.durations_ns)
+    assert_same(interburst_gaps_ns(mask, INTERVAL), stats.gaps_ns)
+
+
+# -- gap-aware burst extraction --------------------------------------------------
+
+
+@st.composite
+def gappy_traces(draw):
+    """Byte traces with arbitrary sample loss, including boundary gaps.
+
+    Builds a regular-grid cumulative byte counter, then drops an
+    arbitrary subset of samples (always keeping at least two), so gaps
+    can sit at the very start or end of the surviving trace and bursts
+    can straddle or exactly abut every split point.
+    """
+    n = draw(st.integers(2, 80))
+    hot_bits = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    util = np.where(np.asarray(hot_bits), 0.95, 0.05)
+    bytes_per_tick = np.rint(util * gbps(10) * INTERVAL / 8e9).astype(np.int64)
+    values = np.concatenate(([0], np.cumsum(bytes_per_tick)))
+    keep_bits = draw(st.lists(st.booleans(), min_size=n + 1, max_size=n + 1))
+    keep = np.asarray(keep_bits, dtype=bool)
+    if keep.sum() < 2:
+        keep[:2] = True
+    timestamps = INTERVAL * np.arange(n + 1, dtype=np.int64)
+    return CounterTrace(
+        timestamps_ns=timestamps[keep],
+        values=values[keep],
+        kind=ValueKind.CUMULATIVE,
+        name="gappy",
+        rate_bps=gbps(10),
+    )
+
+
+@settings(max_examples=300)
+@given(gappy_traces(), st.floats(0.1, 0.9))
+def test_gap_aware_core_equivalence(trace, threshold):
+    """The vectorized gap-aware core matches the segment-materializing
+    reference on arbitrary gappy traces: durations, inter-burst gaps,
+    pooled hot mask, segment count, and clipped-burst count."""
+    nominal = trace.nominal_interval_ns()
+    segmented = _gap_aware_core_segmented(trace, nominal, threshold, 1.5)
+    vectorized = _gap_aware_core_vectorized(trace, nominal, threshold, 1.5)
+    for left, right in zip(segmented, vectorized):
+        if isinstance(left, np.ndarray):
+            assert_same(right, left)
+        else:
+            assert left == right
+
+
+# -- empirical CDF ---------------------------------------------------------------
+
+
+finite_samples = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 150),
+    elements=st.floats(-1e9, 1e9, allow_nan=False, width=64),
+)
+
+
+@given(finite_samples)
+def test_cdf_construction_equivalence(samples):
+    assert_same(EmpiricalCdf(samples).values, scalar_sorted(samples))
+
+
+@given(
+    finite_samples,
+    st.lists(st.floats(-2e9, 2e9, allow_nan=False), min_size=1, max_size=30),
+)
+def test_cdf_evaluation_equivalence(samples, queries):
+    cdf = EmpiricalCdf(samples)
+    queries = np.asarray(queries, dtype=np.float64)
+    assert_same(cdf(queries), scalar_ecdf_probs(cdf.values, queries))
+    for x in queries[:5]:
+        assert cdf(float(x)) == float(scalar_ecdf_probs(cdf.values, np.asarray(x)))
+
+
+# -- REPRO_SCALAR dispatch -------------------------------------------------------
+
+
+def test_scalar_escape_hatch_switches_pipeline(monkeypatch):
+    """REPRO_SCALAR=1 routes the full pipeline through the oracles and
+    produces identical results (spot check, not property-based)."""
+    rng = np.random.default_rng(11)
+    util = np.where(rng.random(400) < 0.3, 0.9, 0.1)
+    bytes_per_tick = np.rint(util * gbps(10) * INTERVAL / 8e9).astype(np.int64)
+    values = np.concatenate(([0], np.cumsum(bytes_per_tick)))
+    keep = rng.random(401) >= 0.1
+    keep[[0, -1]] = True
+    trace = CounterTrace(
+        timestamps_ns=INTERVAL * np.arange(401, dtype=np.int64)[keep],
+        values=values[keep],
+        kind=ValueKind.CUMULATIVE,
+        name="dispatch",
+        rate_bps=gbps(10),
+    )
+    from repro.analysis.bursts import extract_bursts_gap_aware
+
+    fast = extract_bursts_gap_aware(trace)
+    monkeypatch.setenv("REPRO_SCALAR", "1")
+    slow = extract_bursts_gap_aware(trace)
+    assert np.array_equal(fast.durations_ns, slow.durations_ns)
+    assert fast.stats.n_samples == slow.stats.n_samples
+    assert fast.stats.hot_fraction == slow.stats.hot_fraction
+    assert fast.n_segments == slow.n_segments
+    assert fast.n_clipped_bursts == slow.n_clipped_bursts
+    assert fast.cdf_delta_bound == slow.cdf_delta_bound
