@@ -4,7 +4,12 @@ Examples
 --------
     repro list
     repro fig3 --seed 1
+    repro fig3 --backend netsim
     repro all --seed 0 --series
+
+Results go to stdout; progress and timing diagnostics go through the
+``repro`` logger (stderr by default) — ``-v`` for debug detail, ``-q``
+for warnings only.
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import get_logger, setup_logging
+
+_log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +42,30 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--backend",
+        choices=("synth", "netsim"),
+        default=None,
+        metavar="NAME",
+        help=(
+            "measurement backend: 'synth' (default; calibrated vectorised "
+            "synthesiser) or 'netsim' (packet-level simulator at a "
+            "documented reduced scale)"
+        ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more diagnostics on stderr (repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="warnings only on stderr",
+    )
     parser.add_argument(
         "--series",
         action="store_true",
@@ -109,8 +141,26 @@ def _scale_kwargs(experiment_id: str, scale: str) -> dict:
     return full.get(experiment_id, {})
 
 
+def _netsim_kwargs(experiment_id: str) -> dict:
+    """Reduced data volumes for the packet-level backend: each window is a
+    real simulation (capped at ~20 ms of simulated time), so the campaign
+    shrinks to keep a CLI run interactive."""
+    reduced = {
+        "fig3": dict(n_windows=4),
+        "fig4": dict(n_windows=4),
+        "fig6": dict(n_windows=4),
+        "tab2": dict(n_windows=4),
+        "ext-cc": dict(n_windows=2),
+        "ext-lb": dict(n_windows=2),
+        "fig10": dict(n_activity_windows=4),
+        "ext-chaos": dict(campaign_racks_per_app=1, campaign_hours=2),
+    }
+    return reduced.get(experiment_id, {})
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
     if args.experiment == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -141,16 +191,20 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
     if args.resume and not args.checkpoint:
-        print("--resume requires --checkpoint DIR", file=sys.stderr)
+        _log.error("--resume requires --checkpoint DIR")
         return 2
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     json_payload = []
     if args.workers < 1:
-        print("--workers must be at least 1", file=sys.stderr)
+        _log.error("--workers must be at least 1")
         return 2
     for experiment_id in targets:
         start = time.time()
         kwargs = _scale_kwargs(experiment_id, args.scale)
+        if args.backend is not None:
+            kwargs["backend"] = args.backend
+            if args.backend == "netsim":
+                kwargs.update(_netsim_kwargs(experiment_id))
         if args.workers != 1:
             kwargs["workers"] = args.workers
         if experiment_id == "ext-chaos":
@@ -159,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
             if args.checkpoint is not None:
                 kwargs["checkpoint_dir"] = args.checkpoint
                 kwargs["resume"] = args.resume
+        _log.debug("running %s with %s", experiment_id, kwargs or "defaults")
         result = run_experiment(experiment_id, seed=args.seed, **kwargs)
         if args.json:
             payload = result.to_dict(include_series=args.series)
@@ -166,8 +221,8 @@ def main(argv: list[str] | None = None) -> int:
             json_payload.append(payload)
         else:
             print(result.render(include_series=args.series))
-            print(f"[{experiment_id} completed in {time.time() - start:.1f}s]")
             print()
+        _log.info("%s completed in %.1fs", experiment_id, time.time() - start)
     if args.json:
         import json
 

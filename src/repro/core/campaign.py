@@ -29,7 +29,10 @@ import numpy as np
 from repro.core.samples import CounterTrace
 from repro.core.traceio import load_traces, save_traces
 from repro.errors import AnalysisError, CollectionError, ConfigError, ReproError
+from repro.obs import get_logger
 from repro.units import NS_PER_S, seconds
+
+_log = get_logger("campaign")
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,7 +52,12 @@ class CampaignWindow:
 
 
 class WindowSource(Protocol):
-    """Anything that can produce counter traces for a campaign window."""
+    """Anything that can produce counter traces for a campaign window.
+
+    This is the minimal capability a campaign needs; full measurement
+    backends (:class:`repro.backends.MeasurementBackend`) are structural
+    supersets, so every backend is a valid window source.
+    """
 
     def sample_window(self, window: CampaignWindow) -> dict[str, CounterTrace]:
         """Collect traces covering ``window``."""
@@ -238,12 +246,15 @@ _MANIFEST_VERSION = 1
 
 
 class MeasurementCampaign:
-    """Executes a plan against a window source, resiliently.
+    """Executes a plan against a measurement backend, resiliently.
 
     Parameters
     ----------
-    plan / source:
-        The schedule and the fleet to collect from.
+    plan / backend:
+        The schedule and the data plane to collect from — anything
+        satisfying :class:`WindowSource` (a full
+        :class:`repro.backends.MeasurementBackend`, a bare synthetic
+        source, or a fault-injecting wrapper around either).
     retry:
         Retry policy for failed windows.  ``None`` keeps the historical
         fail-fast behaviour (one attempt, errors propagate).
@@ -258,16 +269,21 @@ class MeasurementCampaign:
     def __init__(
         self,
         plan: CampaignPlan,
-        source: WindowSource,
+        backend: WindowSource,
         retry: RetryPolicy | None = None,
         checkpoint_dir: str | Path | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.plan = plan
-        self.source = source
+        self.backend = backend
         self.retry = retry
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         self._sleep = sleep
+
+    @property
+    def source(self) -> WindowSource:
+        """Backward-compatible alias for :attr:`backend`."""
+        return self.backend
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -352,11 +368,11 @@ class MeasurementCampaign:
     def _collect_once(self, window: CampaignWindow) -> dict[str, CounterTrace]:
         timeout = self.retry.window_timeout_s if self.retry else None
         if timeout is None:
-            return self.source.sample_window(window)
+            return self.backend.sample_window(window)
         # One worker per attempt: a hung collection must not poison later
         # windows.  The abandoned worker is left to finish on its own.
         pool = ThreadPoolExecutor(max_workers=1)
-        future = pool.submit(self.source.sample_window, window)
+        future = pool.submit(self.backend.sample_window, window)
         finished, _ = wait([future], timeout=timeout, return_when=FIRST_COMPLETED)
         if not finished:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -383,6 +399,10 @@ class MeasurementCampaign:
                 last_error = str(exc)
                 if self.retry is None:
                     raise
+                _log.debug(
+                    "window %s/h%d attempt %d failed: %s",
+                    window.rack_id, window.hour, attempt, exc,
+                )
                 if attempt < retry.max_attempts:
                     if delay > 0:
                         self._sleep(delay)
@@ -399,6 +419,10 @@ class MeasurementCampaign:
                 error=last_error,
             )
             return outcome, traces
+        _log.warning(
+            "window %s/h%d failed after %d attempts: %s",
+            window.rack_id, window.hour, retry.max_attempts, last_error,
+        )
         outcome = WindowOutcome(
             index=index,
             window=window,

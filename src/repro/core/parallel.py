@@ -50,6 +50,9 @@ from repro.core.campaign import (
 )
 from repro.core.samples import CounterTrace
 from repro.errors import CollectionError, ConfigError
+from repro.obs import get_logger
+
+_log = get_logger("parallel")
 
 #: Version of the ``shards.json`` layout header.
 _LAYOUT_VERSION = 1
@@ -106,24 +109,24 @@ def _source_fault_stats(source: WindowSource) -> dict[str, int] | None:
 
 def _collect_shard(
     windows: tuple[CampaignWindow, ...],
-    source: WindowSource,
+    backend: WindowSource,
     retry: RetryPolicy | None,
     checkpoint_dir: str | None,
     resume: bool,
 ) -> tuple[list[WindowOutcome], list[dict[str, CounterTrace]], dict[str, int] | None]:
     """Run one shard as an ordinary resilient campaign (worker entry point).
 
-    Module-level so it pickles; the ``source`` argument arrives as a
+    Module-level so it pickles; the ``backend`` argument arrives as a
     process-local copy in pool workers, which is exactly what keeps
-    mutable source state (retry attempt counters, fault tallies)
+    mutable backend state (retry attempt counters, fault tallies)
     shard-local and order-independent.
     """
     subplan = CampaignPlan(windows=windows)
     campaign = MeasurementCampaign(
-        subplan, source, retry=retry, checkpoint_dir=checkpoint_dir
+        subplan, backend, retry=retry, checkpoint_dir=checkpoint_dir
     )
     result = campaign.run(resume=resume)
-    return result.outcomes or [], result.traces, _source_fault_stats(source)
+    return result.outcomes or [], result.traces, _source_fault_stats(backend)
 
 
 class ParallelCampaign:
@@ -131,9 +134,9 @@ class ParallelCampaign:
 
     Parameters
     ----------
-    plan / source:
+    plan / backend:
         As for :class:`~repro.core.campaign.MeasurementCampaign`.  With
-        ``workers > 1`` the source must be picklable and must derive all
+        ``workers > 1`` the backend must be picklable and must derive all
         randomness from window identity (see module docstring).
     retry:
         Per-window retry policy, applied inside every shard.
@@ -155,7 +158,7 @@ class ParallelCampaign:
     def __init__(
         self,
         plan: CampaignPlan,
-        source: WindowSource,
+        backend: WindowSource,
         retry: RetryPolicy | None = None,
         checkpoint_dir: str | Path | None = None,
         workers: int = 1,
@@ -164,12 +167,17 @@ class ParallelCampaign:
         if workers <= 0:
             raise ConfigError(f"workers must be positive, got {workers}")
         self.plan = plan
-        self.source = source
+        self.backend = backend
         self.retry = retry
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         self.workers = workers
         self.shards = shard_plan(plan, max_windows_per_shard)
         self.fault_stats: dict[str, int] | None = None
+
+    @property
+    def source(self) -> WindowSource:
+        """Backward-compatible alias for :attr:`backend`."""
+        return self.backend
 
     # -- checkpoint layout -------------------------------------------------------
 
@@ -212,7 +220,7 @@ class ParallelCampaign:
 
     def _shard_args(self, shard: Shard, resume: bool) -> tuple:
         windows = tuple(self.plan.windows[i] for i in shard.indices)
-        return (windows, self.source, self.retry, self._shard_dir(shard), resume)
+        return (windows, self.backend, self.retry, self._shard_dir(shard), resume)
 
     def run(self, resume: bool = False) -> CampaignResult:
         """Collect every shard and merge results back into plan order.
@@ -222,13 +230,17 @@ class ParallelCampaign:
         traces, same per-window outcomes — for any conforming source.
         """
         self._prepare_checkpoint(resume)
+        _log.debug(
+            "collecting %d windows in %d shards across %d workers",
+            len(self.plan.windows), len(self.shards), self.workers,
+        )
         results: dict[int, tuple] = {}
         if self.workers == 1 or len(self.shards) <= 1:
             for shard in self.shards:
                 results[shard.shard_id] = _collect_shard(*self._shard_args(shard, resume))
             # In-process shards share one source instance, so per-shard
             # tallies are cumulative snapshots: keep only the final one.
-            self.fault_stats = _source_fault_stats(self.source)
+            self.fault_stats = _source_fault_stats(self.backend)
         else:
             with ProcessPoolExecutor(max_workers=min(self.workers, len(self.shards))) as pool:
                 futures = {

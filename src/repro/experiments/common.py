@@ -1,4 +1,14 @@
-"""Shared experiment scaffolding."""
+"""Shared experiment scaffolding.
+
+Every fig/tab experiment gets its data through the helpers here, which
+run the *campaign pipeline* over a :mod:`repro.backends` measurement
+backend: build a plan, execute it with
+:class:`~repro.core.campaign.MeasurementCampaign` (or the sharded
+parallel runner), and hand the traces/rack windows to analysis.  The
+``backend`` argument accepted throughout is a backend name
+(``"synth"`` / ``"netsim"``), an instance, or ``None`` for the synth
+default.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +17,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.report import format_comparison
+from repro.backends import MeasurementBackend, rack_window_spec, resolve_backend, single_port_plan
+from repro.core.campaign import MeasurementCampaign
 from repro.core.samples import CounterTrace
 from repro.synth.calibration import BASE_TICK_NS
-from repro.synth.dataset import synthesize_app_windows
+from repro.synth.rackmodel import RackWindow
 from repro.units import seconds
 
 APPS = ("web", "cache", "hadoop")
@@ -76,14 +88,77 @@ def app_byte_traces(
     n_windows: int,
     window_s: float,
     tick_ns: int = BASE_TICK_NS,
+    backend: MeasurementBackend | str | None = None,
+    workers: int = 1,
 ) -> list[CounterTrace]:
     """Single-port byte traces for one application (the common input of
-    the Fig 3/4/6 and Table 2 experiments)."""
-    return synthesize_app_windows(
-        app,
-        n_windows=n_windows,
-        window_duration_ns=seconds(window_s),
-        seed=seed,
+    the Fig 3/4/6 and Table 2 experiments).
+
+    A thin shim over the campaign pipeline: a
+    :func:`~repro.backends.single_port_plan` executed against the
+    resolved backend.  ``workers > 1`` shards the campaign across
+    processes; the backends' window-keyed seeding keeps the result
+    byte-identical to the serial run.
+    """
+    resolved = resolve_backend(backend, seed=seed, tick_ns=tick_ns)
+    plan = single_port_plan(app, n_windows, seconds(window_s), seed=seed)
+    if workers > 1:
+        from repro.core.parallel import ParallelCampaign
+
+        result = ParallelCampaign(plan, resolved, workers=workers).run()
+    else:
+        result = MeasurementCampaign(plan, resolved).run()
+    traces: list[CounterTrace] = []
+    for _window, window_traces in result.iter_windows():
+        traces.extend(window_traces.values())
+    return traces
+
+
+def histogram_window(
+    app: str,
+    seed: int,
+    duration_s: float,
+    backend: MeasurementBackend | str | None = None,
+    experiment: str = "hist",
+    tick_ns: int = BASE_TICK_NS,
+) -> dict[str, CounterTrace]:
+    """One window's byte trace + packet-size-histogram trace (Fig 5)."""
+    resolved = resolve_backend(backend, seed=seed, tick_ns=tick_ns)
+    spec = rack_window_spec(app, seconds(duration_s), experiment=experiment)
+    return resolved.sample_histogram_window(spec)
+
+
+def rack_window(
+    app: str,
+    seed: int,
+    duration_s: float,
+    backend: MeasurementBackend | str | None = None,
+    experiment: str = "rack",
+    index: int = 0,
+    activity: float = 1.0,
+    tick_ns: int = BASE_TICK_NS,
+) -> RackWindow:
+    """One whole-rack utilization window (Figs 7-10).
+
+    ``experiment``/``index`` key the window's identity, so each figure —
+    and each activity span within a figure — draws an independent
+    deterministic stream from the backend.
+    """
+    resolved = resolve_backend(backend, seed=seed, tick_ns=tick_ns)
+    spec = rack_window_spec(app, seconds(duration_s), experiment=experiment, index=index)
+    return resolved.sample_rack_window(spec, activity=activity)
+
+
+def backend_note(backend: MeasurementBackend | str | None) -> str | None:
+    """A result note when an experiment runs on a non-default backend."""
+    if backend is None:
+        return None
+    name = backend if isinstance(backend, str) else backend.name
+    if name == "synth":
+        return None
+    return (
+        f"collected through the {name!r} backend (packet-level, documented "
+        "reduced scale: fewer ports, windows capped at ~20 ms of simulation)"
     )
 
 

@@ -20,11 +20,12 @@ from repro.analysis.bursts import (
     extract_bursts_gap_aware,
 )
 from repro.analysis.cdf import EmpiricalCdf
+from repro.backends import resolve_backend
 from repro.core.campaign import MeasurementCampaign, RetryPolicy, WindowStatus
 from repro.core.parallel import ParallelCampaign
-from repro.experiments.common import ExperimentResult, app_byte_traces
+from repro.experiments.common import ExperimentResult, app_byte_traces, backend_note
 from repro.faults import FaultInjector, FaultPlan, FaultyWindowSource
-from repro.synth.dataset import SyntheticCampaignSource, default_plan
+from repro.synth.dataset import default_plan
 from repro.units import seconds
 
 
@@ -37,6 +38,7 @@ def _chaos_campaign(
     hours: int,
     window_s: float,
     workers: int,
+    backend=None,
 ) -> tuple[dict[str, int], float, dict[str, int]]:
     plan = default_plan(
         racks_per_app=racks_per_app,
@@ -53,7 +55,9 @@ def _chaos_campaign(
             wrap_bits=32,
         )
     )
-    source = FaultyWindowSource(SyntheticCampaignSource(seed=seed), injector)
+    # Fault injection composes with any measurement backend: the wrapper
+    # only relies on the ``sample_window`` protocol the campaign consumes.
+    source = FaultyWindowSource(resolve_backend(backend, seed=seed), injector)
     retry = RetryPolicy(max_attempts=3, backoff_s=0.0)
     if workers > 1:
         campaign = ParallelCampaign(
@@ -90,6 +94,7 @@ def run(
     campaign_hours: int = 4,
     campaign_window_s: float = 1.0,
     workers: int = 1,
+    backend=None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ext-chaos",
@@ -106,6 +111,7 @@ def run(
         campaign_hours,
         campaign_window_s,
         workers,
+        backend=backend,
     )
     n_planned = sum(counts.values())
     result.add("campaign windows planned", "-", n_planned)
@@ -127,7 +133,9 @@ def run(
     )
 
     # -- gap-tolerant Fig 3 / Fig 6 statistics --------------------------------
-    clean = app_byte_traces("web", seed=seed, n_windows=n_windows, window_s=window_s)
+    clean = app_byte_traces(
+        "web", seed=seed, n_windows=n_windows, window_s=window_s, backend=backend
+    )
     clean_durations = np.concatenate(
         [extract_bursts_from_trace(trace).durations_ns for trace in clean]
     )
@@ -178,4 +186,7 @@ def run(
         "time-weighted mean utilization is exact under loss because byte "
         "counts survive misses (Table 1)"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

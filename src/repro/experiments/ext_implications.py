@@ -19,7 +19,12 @@ import numpy as np
 
 from repro.analysis.bursts import extract_bursts_from_trace
 from repro.analysis.mad import normalized_mad_series, resample_utilization
-from repro.experiments.common import APPS, ExperimentResult, app_byte_traces
+from repro.experiments.common import (
+    APPS,
+    ExperimentResult,
+    app_byte_traces,
+    backend_note,
+)
 from repro.netsim import (
     BufferPolicy,
     RackConfig,
@@ -74,13 +79,22 @@ def _incast_drops(transport: str, seed: int) -> tuple[int, int]:
     return steady_drops, steady_peak
 
 
-def run_cc(seed: int = 0, n_windows: int = 12, window_s: float = 2.0) -> ExperimentResult:
+def run_cc(
+    seed: int = 0,
+    n_windows: int = 12,
+    window_s: float = 2.0,
+    backend=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ext-cc",
         title="Sec 7: congestion signals arrive after many µbursts end",
     )
     for app in APPS:
-        traces = app_byte_traces(app, seed=seed, n_windows=n_windows, window_s=window_s)
+        traces = app_byte_traces(
+            app, seed=seed, n_windows=n_windows, window_s=window_s,
+            backend=backend, workers=workers,
+        )
         durations = np.concatenate(
             [extract_bursts_from_trace(trace).durations_ns for trace in traces]
         )
@@ -103,6 +117,9 @@ def run_cc(seed: int = 0, n_windows: int = 12, window_s: float = 2.0) -> Experim
         "even a one-RTT signal misses most Web/Cache bursts entirely; "
         "lower-latency signals or better buffering are needed (Sec 7)"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result
 
 
@@ -111,13 +128,22 @@ def run_cc(seed: int = 0, n_windows: int = 12, window_s: float = 2.0) -> Experim
 # --------------------------------------------------------------------------
 
 
-def run_lb(seed: int = 0, n_windows: int = 12, window_s: float = 2.0) -> ExperimentResult:
+def run_lb(
+    seed: int = 0,
+    n_windows: int = 12,
+    window_s: float = 2.0,
+    backend=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ext-lb",
         title="Sec 7: inter-burst gaps vs end-to-end latency (flowlet splits)",
     )
     for app in APPS:
-        traces = app_byte_traces(app, seed=seed, n_windows=n_windows, window_s=window_s)
+        traces = app_byte_traces(
+            app, seed=seed, n_windows=n_windows, window_s=window_s,
+            backend=backend, workers=workers,
+        )
         gaps = np.concatenate(
             [extract_bursts_from_trace(trace).gaps_ns for trace in traces]
         )
@@ -132,6 +158,9 @@ def run_lb(seed: int = 0, n_windows: int = 12, window_s: float = 2.0) -> Experim
         "a gap longer than the e2e latency guarantees no reordering when "
         "the next burst takes a new path — the microflow-LB argument"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result
 
 
@@ -175,7 +204,9 @@ def _chunked_sender_burstiness(pacing_rate_bps, seed: int):
     return stats
 
 
-def run_pacing(seed: int = 0) -> ExperimentResult:
+def run_pacing(seed: int = 0, backend=None) -> ExperimentResult:
+    # ``backend`` accepted for pipeline uniformity; the pacing comparison
+    # is mechanistic (always packet-level netsim) regardless of backend.
     result = ExperimentResult(
         experiment_id="ext-pacing",
         title="Sec 7: NIC pacing vs µburst intensity",
@@ -204,7 +235,9 @@ def run_pacing(seed: int = 0) -> ExperimentResult:
 # --------------------------------------------------------------------------
 
 
-def run_failures(seed: int = 0, duration_s: float = 5.0) -> ExperimentResult:
+def run_failures(seed: int = 0, duration_s: float = 5.0, backend=None) -> ExperimentResult:
+    # ``backend`` accepted for pipeline uniformity; the failure study is
+    # mechanistic (Clos fabric + capacity factors) regardless of backend.
     result = ExperimentResult(
         experiment_id="ext-failures",
         title="Sec 6.1: imbalance under failure-induced asymmetry",

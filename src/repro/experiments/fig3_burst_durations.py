@@ -14,7 +14,12 @@ from repro.analysis.bursts import extract_bursts_from_trace
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.report import cdf_series
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult, app_byte_traces
+from repro.experiments.common import (
+    APPS,
+    ExperimentResult,
+    app_byte_traces,
+    backend_note,
+)
 from repro.units import to_us
 
 
@@ -22,13 +27,18 @@ def run(
     seed: int = 0,
     n_windows: int = 24,
     window_s: float = 2.0,
+    backend=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig3",
         title="CDF of microburst durations @ 25us",
     )
     for app in APPS:
-        traces = app_byte_traces(app, seed=seed, n_windows=n_windows, window_s=window_s)
+        traces = app_byte_traces(
+            app, seed=seed, n_windows=n_windows, window_s=window_s,
+            backend=backend, workers=workers,
+        )
         durations = np.concatenate(
             [extract_bursts_from_trace(trace).durations_ns for trace in traces]
         )
@@ -51,4 +61,7 @@ def run(
     result.notes.append(
         "durations are multiples of the 25us sampling period, as in the paper"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

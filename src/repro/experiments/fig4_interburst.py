@@ -15,7 +15,12 @@ from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.kstest import exponential_ks_test
 from repro.analysis.report import cdf_series
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult, app_byte_traces
+from repro.experiments.common import (
+    APPS,
+    ExperimentResult,
+    app_byte_traces,
+    backend_note,
+)
 from repro.units import to_us
 
 
@@ -23,13 +28,18 @@ def run(
     seed: int = 0,
     n_windows: int = 24,
     window_s: float = 2.0,
+    backend=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig4",
         title="CDF of inter-burst periods @ 25us + Poisson rejection",
     )
     for app in APPS:
-        traces = app_byte_traces(app, seed=seed, n_windows=n_windows, window_s=window_s)
+        traces = app_byte_traces(
+            app, seed=seed, n_windows=n_windows, window_s=window_s,
+            backend=backend, workers=workers,
+        )
         gaps = np.concatenate(
             [extract_bursts_from_trace(trace).gaps_ns for trace in traces]
         ).astype(np.float64)
@@ -59,4 +69,7 @@ def run(
         "gap tails several orders of magnitude above burst durations: most "
         "inter-burst periods exceed end-to-end latency (Sec 7 load balancing)"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

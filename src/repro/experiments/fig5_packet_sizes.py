@@ -8,37 +8,27 @@ shows a ~60 % relative increase of large packets inside bursts.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.packetsizes import split_histogram_by_burst
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult
-from repro.synth.calibration import APP_PROFILES, BASE_TICK_NS
-from repro.synth.onoff import OnOffGenerator
-from repro.synth.rackmodel import synthesize_size_histogram, utilization_to_byte_trace
-from repro.units import gbps, seconds
+from repro.experiments.common import APPS, ExperimentResult, backend_note, histogram_window
 
 
 def run(
     seed: int = 0,
     duration_s: float = 20.0,
+    backend=None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig5",
         title="Packet sizes inside/outside bursts (100us periods)",
     )
-    n_ticks = int(seconds(duration_s)) // BASE_TICK_NS
-    rate = gbps(10)
     for app in APPS:
-        profile = APP_PROFILES[app]
-        rng = np.random.default_rng(seed + 1)
-        series = OnOffGenerator(profile.downlink).generate(n_ticks, rng)
-        byte_trace = utilization_to_byte_trace(
-            series.utilization, rate, BASE_TICK_NS, name=f"{app}.tx_bytes"
+        traces = histogram_window(
+            app, seed=seed, duration_s=duration_s, backend=backend, experiment="fig5"
         )
-        hist_trace = synthesize_size_histogram(
-            series.utilization, series.hot, profile, rate, BASE_TICK_NS, rng,
-            name=f"{app}.tx_size_hist",
+        byte_trace = next(t for name, t in traces.items() if name.endswith(".tx_bytes"))
+        hist_trace = next(
+            t for name, t in traces.items() if name.endswith(".tx_size_hist")
         )
         # The paper's Fig 5 campaign polls at 100 us: view both counters
         # at that granularity before splitting by regime.
@@ -84,4 +74,7 @@ def run(
         "bins follow ASIC RMON edges: 64, 65-127, 128-255, 256-511, "
         "512-1023, 1024-1518 bytes"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

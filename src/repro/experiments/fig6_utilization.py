@@ -13,20 +13,31 @@ import numpy as np
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.report import cdf_series
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult, app_byte_traces, pooled_utilization
+from repro.experiments.common import (
+    APPS,
+    ExperimentResult,
+    app_byte_traces,
+    backend_note,
+    pooled_utilization,
+)
 
 
 def run(
     seed: int = 0,
     n_windows: int = 24,
     window_s: float = 2.0,
+    backend=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
         title="CDF of link utilization @ 25us",
     )
     for app in APPS:
-        traces = app_byte_traces(app, seed=seed, n_windows=n_windows, window_s=window_s)
+        traces = app_byte_traces(
+            app, seed=seed, n_windows=n_windows, window_s=window_s,
+            backend=backend, workers=workers,
+        )
         util = np.clip(pooled_utilization(traces), 0.0, 1.0)
         cdf = EmpiricalCdf(util)
         hot = float((util > 0.5).mean())
@@ -49,4 +60,7 @@ def run(
             f"{(util > 0.4).mean():.4f}/{hot:.4f}/{(util > 0.6).mean():.4f}",
         )
         result.add_series(f"{app}_util_cdf", cdf_series(cdf))
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

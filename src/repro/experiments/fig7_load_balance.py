@@ -14,26 +14,26 @@ from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.mad import normalized_mad_series, resample_utilization
 from repro.analysis.report import cdf_series
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult
+from repro.experiments.common import APPS, ExperimentResult, backend_note, rack_window
 from repro.synth.calibration import BASE_TICK_NS
-from repro.synth.rackmodel import RackSynthesizer
 from repro.units import seconds
 
 
 def run(
     seed: int = 0,
     duration_s: float = 10.0,
+    backend=None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig7",
         title="MAD of uplink utilization: egress/ingress, 40us vs 1s",
     )
-    n_ticks = int(seconds(duration_s)) // BASE_TICK_NS
     ticks_per_40us = 2  # 2 x 25us ~ the paper's 40us sampling period
     ticks_per_1s = int(seconds(1)) // BASE_TICK_NS
     for app in APPS:
-        rng = np.random.default_rng(seed + 2)
-        window = RackSynthesizer(app).synthesize(n_ticks, rng)
+        window = rack_window(
+            app, seed=seed, duration_s=duration_s, backend=backend, experiment="fig7"
+        )
         for direction, util in (
             ("egress", window.uplink_egress_util),
             ("ingress", window.uplink_ingress_util),
@@ -69,4 +69,7 @@ def run(
         "flow-level consistent-hash ECMP cannot balance unequal flows at "
         "small timescales; see bench_ablations for per-packet spraying"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

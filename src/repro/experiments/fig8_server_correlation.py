@@ -17,25 +17,24 @@ from repro.analysis.correlation import (
 )
 from repro.analysis.mad import resample_utilization
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult
-from repro.synth.calibration import APP_PROFILES, BASE_TICK_NS
-from repro.synth.rackmodel import RackSynthesizer
-from repro.units import seconds
+from repro.experiments.common import APPS, ExperimentResult, backend_note, rack_window
+from repro.synth.calibration import APP_PROFILES
 
 
 def run(
     seed: int = 0,
     duration_s: float = 10.0,
+    backend=None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
         title="Server-pair Pearson correlation @ 250us (ToR->server)",
     )
-    n_ticks = int(seconds(duration_s)) // BASE_TICK_NS
     ticks_per_250us = 10
     for app in APPS:
-        rng = np.random.default_rng(seed + 3)
-        window = RackSynthesizer(app).synthesize(n_ticks, rng)
+        window = rack_window(
+            app, seed=seed, duration_s=duration_s, backend=backend, experiment="fig8"
+        )
         coarse = resample_utilization(window.downlink_util, ticks_per_250us)
         matrix = pearson_matrix(coarse)
         overall = mean_offdiagonal(matrix)
@@ -79,6 +78,9 @@ def run(
             _offdiag_histogram(matrix),
         )
     result.notes.append("ingress and egress trends were nearly identical in the paper; we report the ToR->server direction")
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result
 
 

@@ -8,31 +8,27 @@ lower; Cache is the opposite, with most hot samples on uplinks
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.hotports import hot_share_by_direction
 from repro.analysis.mad import resample_utilization
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult
-from repro.synth.calibration import BASE_TICK_NS
-from repro.synth.rackmodel import RackSynthesizer
-from repro.units import seconds
+from repro.experiments.common import APPS, ExperimentResult, backend_note, rack_window
 
 
 def run(
     seed: int = 0,
     duration_s: float = 10.0,
+    backend=None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig9",
         title="Uplink/downlink share of hot ports @ 300us",
     )
-    n_ticks = int(seconds(duration_s)) // BASE_TICK_NS
     ticks_per_300us = 12
     shares = {}
     for app in APPS:
-        rng = np.random.default_rng(seed + 4)
-        window = RackSynthesizer(app).synthesize(n_ticks, rng)
+        window = rack_window(
+            app, seed=seed, duration_s=duration_s, backend=backend, experiment="fig9"
+        )
         up = resample_utilization(window.uplink_egress_util, ticks_per_300us)
         down = resample_utilization(window.downlink_util, ticks_per_300us)
         share = hot_share_by_direction(up, down)
@@ -62,4 +58,7 @@ def run(
         "cache responses exceed requests so the 1:4-oversubscribed uplinks "
         "are the bottleneck (Sec 6.3)"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

@@ -72,10 +72,20 @@ def supports_workers(experiment_id: str) -> bool:
     return accepts_param(get_experiment(experiment_id), "workers")
 
 
+def supports_backend(experiment_id: str) -> bool:
+    """Whether an experiment takes a measurement backend selection."""
+    return accepts_param(get_experiment(experiment_id), "backend")
+
+
+#: pipeline-level parameters the CLI passes to every experiment; a runner
+#: that does not take one simply runs without it (``workers`` -> serial,
+#: ``backend`` -> the synth default).
+ADVISORY_PARAMS = ("workers", "backend")
+
+
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     runner = get_experiment(experiment_id)
-    # ``workers`` is advisory: experiments without a campaign to shard
-    # (most figures run on pre-pooled traces) simply execute serially.
-    if "workers" in kwargs and not accepts_param(runner, "workers"):
-        kwargs = {k: v for k, v in kwargs.items() if k != "workers"}
+    for name in ADVISORY_PARAMS:
+        if name in kwargs and not accepts_param(runner, name):
+            kwargs = {k: v for k, v in kwargs.items() if k != name}
     return runner(**kwargs)

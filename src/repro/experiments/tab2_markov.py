@@ -11,20 +11,30 @@ from __future__ import annotations
 from repro.analysis.bursts import trace_hot_mask
 from repro.analysis.markov import fit_pooled_transition_matrix
 from repro.data.published import PAPER
-from repro.experiments.common import APPS, ExperimentResult, app_byte_traces
+from repro.experiments.common import (
+    APPS,
+    ExperimentResult,
+    app_byte_traces,
+    backend_note,
+)
 
 
 def run(
     seed: int = 0,
     n_windows: int = 24,
     window_s: float = 2.0,
+    backend=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="tab2",
         title="Burst Markov transition matrices + likelihood ratios",
     )
     for app in APPS:
-        traces = app_byte_traces(app, seed=seed, n_windows=n_windows, window_s=window_s)
+        traces = app_byte_traces(
+            app, seed=seed, n_windows=n_windows, window_s=window_s,
+            backend=backend, workers=workers,
+        )
         masks = [trace_hot_mask(trace) for trace in traces]
         matrix = fit_pooled_transition_matrix(masks)
         paper = PAPER.table2[app]
@@ -39,4 +49,7 @@ def run(
         "r >> 1 for every application: hot samples are strongly clumped, "
         "so bursts are not independent arrivals (Sec 5.1)"
     )
+    note = backend_note(backend)
+    if note:
+        result.notes.append(note)
     return result

@@ -12,9 +12,13 @@ Usage sketch::
 
     plan = FaultPlan(seed=7, window_failure_rate=0.05, wrap_bits=32)
     injector = FaultInjector(plan)
-    source = FaultyWindowSource(clean_source, injector)
-    result = MeasurementCampaign(plan=campaign_plan, source=source,
+    backend = FaultyWindowSource(resolve_backend("synth", seed=0), injector)
+    result = MeasurementCampaign(plan=campaign_plan, backend=backend,
                                  retry=RetryPolicy()).run()
+
+``FaultyWindowSource`` wraps *any* measurement backend — synth, netsim,
+or another wrapper — because it only relies on the ``sample_window``
+protocol the campaign itself consumes.
 """
 
 from repro.faults.injector import (

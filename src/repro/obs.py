@@ -1,0 +1,48 @@
+"""Observability: the package-wide logging setup.
+
+Results belong on stdout; everything else — progress, timing, file
+writes, degraded-window warnings — goes through a stdlib logger rooted at
+``repro`` so library users can route or silence it with ordinary
+``logging`` configuration.  The CLI calls :func:`setup_logging` once per
+invocation with the verbosity derived from ``--verbose`` / ``-q``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The package logger, or a child of it (``get_logger("cli")``)."""
+    if name is None:
+        return logging.getLogger(LOGGER_NAME)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def setup_logging(verbosity: int = 0, stream: IO[str] | None = None) -> logging.Logger:
+    """Configure the ``repro`` logger for a CLI invocation.
+
+    ``verbosity`` maps ``-q`` → -1 (warnings only), default → 0 (info),
+    ``-v`` → 1+ (debug).  Handlers are replaced, not appended, so
+    repeated calls (tests, embedding) never duplicate output, and the
+    stream is resolved at call time so pytest's capture sees it.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    if verbosity < 0:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -106,41 +106,54 @@ def synthesize_app_windows(
     This is the fast path used by the Fig 3/4/6 and Table 2 benchmarks.
     ``port=None`` mirrors the paper's campaign, which measured one
     *random* port per rack — so roughly 80 % of windows are downlinks.
+    Port choice goes through the crc32 site-key scheme of
+    :mod:`repro.core.seeding` (keyed per ``(seed, app, window index)``),
+    the same discipline the backends use for trace content, so the
+    schedule is independent of call order and worker count.
     """
-    if n_windows <= 0:
-        raise ConfigError("need at least one window")
+    # Imported lazily: repro.backends wraps this module, so a module-level
+    # import would be circular.
+    from repro.backends.base import single_port_plan
+
     source = SyntheticCampaignSource(seed=seed, tick_ns=tick_ns, rate_bps=rate_bps)
-    port_names = [f"down{i}" for i in range(n_downlinks)] + [
-        f"up{i}" for i in range(n_uplinks)
-    ]
-    port_rng = np.random.default_rng(seed + 977)
+    plan = single_port_plan(
+        app,
+        n_windows,
+        window_duration_ns,
+        seed=seed,
+        port=port,
+        n_downlinks=n_downlinks,
+        n_uplinks=n_uplinks,
+    )
     traces = []
-    for index in range(n_windows):
-        port_name = port or port_names[int(port_rng.integers(len(port_names)))]
-        window = CampaignWindow(
-            rack_id=f"{app}-w{index}",
-            rack_type=app,
-            port_name=port_name,
-            hour=index,
-            start_ns=0,
-            duration_ns=window_duration_ns,
-        )
+    for window in plan.windows:
         traces.extend(source.sample_window(window).values())
     return traces
 
 
 def run_campaign(
-    plan: CampaignPlan, seed: int = 0, tick_ns: int = BASE_TICK_NS, workers: int = 1
+    plan: CampaignPlan,
+    seed: int = 0,
+    tick_ns: int = BASE_TICK_NS,
+    workers: int = 1,
+    backend=None,
 ):
-    """Execute a plan against the synthetic source.
+    """Execute a plan against a measurement backend (synth by default).
 
     ``workers > 1`` shards the plan by rack across a process pool; the
-    per-window seeding of :class:`SyntheticCampaignSource` guarantees the
-    result is byte-identical to the serial run.
+    per-window seeding contract of the backends guarantees the result is
+    byte-identical to the serial run.  ``backend`` accepts a backend name
+    (``"synth"`` / ``"netsim"``) or instance; ``None`` keeps the
+    historical synthetic source path.
     """
-    source = SyntheticCampaignSource(seed=seed, tick_ns=tick_ns)
+    if backend is None:
+        resolved = SyntheticCampaignSource(seed=seed, tick_ns=tick_ns)
+    else:
+        from repro.backends import resolve_backend
+
+        resolved = resolve_backend(backend, seed=seed, tick_ns=tick_ns)
     if workers > 1:
         from repro.core.parallel import ParallelCampaign
 
-        return ParallelCampaign(plan, source, workers=workers).run()
-    return MeasurementCampaign(plan, source).run()
+        return ParallelCampaign(plan, resolved, workers=workers).run()
+    return MeasurementCampaign(plan, resolved).run()

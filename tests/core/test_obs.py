@@ -1,0 +1,41 @@
+"""Logging setup tests (repro.obs)."""
+
+import io
+import logging
+
+from repro.obs import LOGGER_NAME, get_logger, setup_logging
+
+
+def test_get_logger_names():
+    assert get_logger().name == LOGGER_NAME
+    assert get_logger("cli").name == f"{LOGGER_NAME}.cli"
+
+
+def test_verbosity_levels():
+    assert setup_logging(-1).level == logging.WARNING
+    assert setup_logging(0).level == logging.INFO
+    assert setup_logging(2).level == logging.DEBUG
+
+
+def test_handlers_replaced_not_stacked():
+    logger = setup_logging(0)
+    setup_logging(0)
+    assert len(logger.handlers) == 1
+    assert not logger.propagate
+
+
+def test_child_messages_reach_stream():
+    stream = io.StringIO()
+    setup_logging(0, stream=stream)
+    get_logger("campaign").info("window %s done", "r1")
+    assert "INFO repro.campaign: window r1 done" in stream.getvalue()
+
+
+def test_quiet_drops_info():
+    stream = io.StringIO()
+    setup_logging(-1, stream=stream)
+    get_logger("cli").info("chatty")
+    get_logger("cli").warning("important")
+    output = stream.getvalue()
+    assert "chatty" not in output
+    assert "important" in output

@@ -14,10 +14,25 @@ def test_list_command(capsys):
 
 def test_single_experiment(capsys):
     assert main(["fig1", "--seed", "1"]) == 0
-    out = capsys.readouterr().out
-    assert "fig1" in out
-    assert "correlation" in out
-    assert "completed in" in out
+    captured = capsys.readouterr()
+    assert "fig1" in captured.out
+    assert "correlation" in captured.out
+    # Diagnostics (timing) go through the logger to stderr, not stdout.
+    assert "completed in" in captured.err
+    assert "completed in" not in captured.out
+
+
+def test_quiet_suppresses_diagnostics(capsys):
+    assert main(["fig1", "--seed", "1", "-q"]) == 0
+    captured = capsys.readouterr()
+    assert "fig1" in captured.out
+    assert "completed in" not in captured.err
+
+
+def test_verbose_emits_debug(capsys):
+    assert main(["fig1", "--seed", "1", "-v"]) == 0
+    captured = capsys.readouterr()
+    assert "running fig1" in captured.err
 
 
 def test_series_flag(capsys):
@@ -39,6 +54,19 @@ def test_parser_defaults():
     assert args.chaos is None
     assert args.checkpoint is None
     assert not args.resume
+    assert args.backend is None
+    assert args.verbose == 0
+    assert not args.quiet
+
+
+def test_backend_flag_parsed():
+    args = build_parser().parse_args(["fig3", "--backend", "netsim"])
+    assert args.backend == "netsim"
+
+
+def test_backend_flag_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig3", "--backend", "quantum"])
 
 
 def test_chaos_flags_parsed():

@@ -1,14 +1,17 @@
 """ExperimentResult / CLI plumbing tests."""
 
 import json
+import zlib
 
 import numpy as np
 import pytest
 
-from repro.cli import _scale_kwargs
+from repro.cli import _netsim_kwargs, _scale_kwargs
 from repro.errors import ConfigError
 from repro.experiments.common import ExperimentResult
 from repro.netsim import RackConfig
+from repro.synth.dataset import synthesize_app_windows
+from repro.units import seconds
 
 
 class TestExperimentResult:
@@ -54,6 +57,49 @@ class TestScaleKwargs:
 
     def test_full_scale_unknown_experiment_empty(self):
         assert _scale_kwargs("ext-netsim", "full") == {}
+
+
+class TestNetsimKwargs:
+    def test_campaign_experiments_shrink(self):
+        assert _netsim_kwargs("fig3")["n_windows"] < 24
+        assert _netsim_kwargs("ext-chaos")["campaign_racks_per_app"] == 1
+
+    def test_non_campaign_experiments_untouched(self):
+        assert _netsim_kwargs("fig1") == {}
+
+
+class TestSiteKeyedSeeding:
+    """Satellite regression: experiment seeding goes through the crc32
+    site-key scheme of repro.core.seeding (no more ``seed + 977`` bypass),
+    pinned by trace CRCs so reseeding regressions are loud."""
+
+    #: crc32 over (values || timestamps) of
+    #: ``synthesize_app_windows(app, 4, seconds(1), seed=0)``
+    GOLDEN_CRCS = {
+        "web": 0x4BABC719,
+        "cache": 0x3BC94665,
+        "hadoop": 0xEEB87BCD,
+    }
+
+    @staticmethod
+    def crc(traces) -> int:
+        crc = 0
+        for trace in traces:
+            crc = zlib.crc32(trace.values.tobytes(), crc)
+            crc = zlib.crc32(trace.timestamps_ns.tobytes(), crc)
+        return crc
+
+    @pytest.mark.parametrize("app", sorted(GOLDEN_CRCS))
+    def test_golden_trace_crcs(self, app):
+        traces = synthesize_app_windows(app, 4, seconds(1), seed=0)
+        assert self.crc(traces) == self.GOLDEN_CRCS[app]
+
+    def test_port_schedule_is_window_keyed(self):
+        # The port drawn for window i must not depend on how many windows
+        # the run asks for — identity, not draw order, keys the choice.
+        names_long = [t.name for t in synthesize_app_windows("web", 6, seconds(1), seed=2)]
+        names_short = [t.name for t in synthesize_app_windows("web", 3, seconds(1), seed=2)]
+        assert names_long[:3] == names_short
 
 
 class TestRackConfigValidation:

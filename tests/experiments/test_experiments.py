@@ -43,6 +43,29 @@ class TestRegistry:
         assert "series" in text
 
 
+class TestBackendDispatch:
+    def test_every_experiment_accepts_backend(self):
+        from repro.experiments.registry import supports_backend
+
+        for experiment_id in EXPERIMENTS:
+            assert supports_backend(experiment_id), experiment_id
+
+    def test_backend_synth_matches_default(self):
+        default = run_experiment("fig3", seed=0, n_windows=3, window_s=0.5)
+        explicit = run_experiment(
+            "fig3", seed=0, n_windows=3, window_s=0.5, backend="synth"
+        )
+        assert default.rows == explicit.rows
+
+    def test_fig3_runs_under_netsim(self):
+        result = run_experiment(
+            "fig3", seed=0, n_windows=2, window_s=0.5, backend="netsim"
+        )
+        rows = rows_dict(result)
+        assert any("p90 burst duration" in metric for metric in rows)
+        assert any("netsim" in note for note in result.notes)
+
+
 class TestFig1:
     def test_weak_correlation(self):
         result = run_experiment("fig1", seed=0, n_links=3000, samples_per_link=8)
