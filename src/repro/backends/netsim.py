@@ -9,12 +9,16 @@ misses, true timestamps, and all.
 
 Scale
 -----
-Packet-level simulation costs roughly wall-clock second per simulated
-10 ms of rack traffic, so netsim campaigns run at a documented reduced
-scale (:class:`NetsimScale`): fewer ports, a capped per-window duration,
-and a short warm-up.  The *shape* statistics the experiments check
-(burst-duration CDFs, hot fractions, directionality) are preserved at
-this scale — that cross-validation is the ext-netsim experiment.
+Packet-level simulation still cannot run the paper's full 3.5 G-sample
+campaign, so netsim campaigns run at a documented reduced scale
+(:class:`NetsimScale`): a capped per-window duration and a short
+warm-up.  After the event-engine performance pass (DESIGN.md §8,
+~2.5x events/sec) the default rack is the paper's own 16-down / 4-up
+ToR with a 40 ms window cap — roughly 100 ms of simulated rack traffic
+per wall-clock second on a commodity core.  The *shape* statistics the
+experiments check (burst-duration CDFs, hot fractions, directionality)
+are preserved at this scale — that cross-validation is the ext-netsim
+experiment.
 
 Determinism
 -----------
@@ -108,15 +112,20 @@ class NetsimScale:
     """The documented reduced scale for packet-level campaigns.
 
     ``max_window_ns`` caps how much of a campaign window is actually
-    simulated — a 2 s synth window maps to 20 ms of packet simulation
-    (~2 s wall-clock).  ``smoke()`` shrinks further for CI smoke jobs.
+    simulated — a 2 s synth window maps to 40 ms of packet simulation.
+    The default rack is now the paper's full 16-down / 4-up ToR (so
+    ``map_port`` is the identity for standard plans): the event-engine
+    performance pass (DESIGN.md §8) bought back enough headroom that the
+    paper-shaped rack with a doubled window cap still simulates faster
+    than the old 8-downlink / 20 ms default did.  ``smoke()`` shrinks
+    far below this for CI smoke jobs.
     """
 
-    n_downlinks: int = 8
+    n_downlinks: int = 16
     n_uplinks: int = 4
-    n_remote_hosts: int = 12
+    n_remote_hosts: int = 24
     warmup_ns: int = ms(10)
-    max_window_ns: int = ms(20)
+    max_window_ns: int = ms(40)
     interval_ns: int = us(25)
     buffer_interval_ns: int = us(50)
 
@@ -159,12 +168,13 @@ class NetsimBackend:
         return min(window.duration_ns, self.scale.max_window_ns)
 
     def map_port(self, port_name: str) -> str:
-        """Fold a plan's port name onto the reduced rack.
+        """Fold a plan's port name onto the simulated rack.
 
-        Plans are written against the paper's 16-down / 4-up rack; the
-        reduced rack keeps the port *class* (downlink vs uplink) and
-        wraps the index, so e.g. ``down13`` measures ``down5`` on an
-        8-downlink rack.
+        Plans are written against the paper's 16-down / 4-up rack, which
+        the default scale now matches (identity mapping).  Reduced
+        scales (e.g. ``smoke()``) keep the port *class* (downlink vs
+        uplink) and wrap the index, so ``down13`` measures ``down5`` on
+        an 8-downlink rack.
         """
         if port_name.startswith("down"):
             return f"down{int(port_name[4:]) % self.scale.n_downlinks}"

@@ -143,7 +143,7 @@ def _scale_kwargs(experiment_id: str, scale: str) -> dict:
 
 def _netsim_kwargs(experiment_id: str) -> dict:
     """Reduced data volumes for the packet-level backend: each window is a
-    real simulation (capped at ~20 ms of simulated time), so the campaign
+    real simulation (capped at ~40 ms of simulated time), so the campaign
     shrinks to keep a CLI run interactive."""
     reduced = {
         "fig3": dict(n_windows=4),

@@ -142,6 +142,12 @@ class HighResSampler:
         start = sim.now
         end = start + duration_ns
 
+        def complete() -> None:
+            # Recorded with the true completion timestamp and exact
+            # cumulative value — bytes survive misses (Table 1).
+            for binding in self.bindings:
+                collector.record(binding.spec.name, sim.now, binding.read())
+
         def poll(index: int) -> None:
             if index >= n_instants:
                 return
@@ -162,17 +168,11 @@ class HighResSampler:
                 stats.missed += covered
                 next_index = index + -(-latency // interval)
 
-            def complete() -> None:
-                # Recorded with the true completion timestamp and exact
-                # cumulative value — bytes survive misses (Table 1).
-                for binding in self.bindings:
-                    collector.record(binding.spec.name, sim.now, binding.read())
-
             sim.schedule_at(tick_ns + latency, complete)
             if next_index < n_instants:
-                sim.schedule_at(start + next_index * interval, lambda: poll(next_index))
+                sim.schedule_at(start + next_index * interval, poll, next_index)
 
-        sim.schedule_at(start, lambda: poll(0))
+        sim.schedule_at(start, poll, 0)
         sim.run_until(end)
         return SamplerReport(
             traces=collector.finalize(),

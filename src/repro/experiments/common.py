@@ -158,7 +158,7 @@ def backend_note(backend: MeasurementBackend | str | None) -> str | None:
         return None
     return (
         f"collected through the {name!r} backend (packet-level, documented "
-        "reduced scale: fewer ports, windows capped at ~20 ms of simulation)"
+        "reduced scale: single rack, windows capped at ~40 ms of simulation)"
     )
 
 

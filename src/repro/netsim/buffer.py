@@ -55,6 +55,11 @@ class SharedBuffer:
 
     def __init__(self, policy: BufferPolicy | None = None) -> None:
         self.policy = policy or BufferPolicy()
+        # Hot-path copies of the (frozen) policy fields: admit() runs
+        # once per switched packet, and dataclass attribute reads add up.
+        self._capacity = self.policy.capacity_bytes
+        self._alpha = self.policy.alpha
+        self._static = self.policy.static_per_port_bytes
         self._occupancy = 0
         self._peak_since_read = 0
         self._queue_bytes: dict[str, int] = {}
@@ -80,14 +85,14 @@ class SharedBuffer:
         queue_len = self._queue_bytes[queue_id]
         if size_bytes <= 0:
             raise SimulationError(f"admit of non-positive size {size_bytes}")
-        free = self.policy.capacity_bytes - self._occupancy
+        free = self._capacity - self._occupancy
         if size_bytes > free:
             self.total_rejected += 1
             return False
-        if self.policy.static_per_port_bytes > 0:
-            allowed = queue_len + size_bytes <= self.policy.static_per_port_bytes
+        if self._static > 0:
+            allowed = queue_len + size_bytes <= self._static
         else:
-            allowed = queue_len < self.policy.alpha * free
+            allowed = queue_len < self._alpha * free
         if not allowed:
             self.total_rejected += 1
             return False

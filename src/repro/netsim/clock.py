@@ -3,6 +3,12 @@
 A thin mutable wrapper around the current simulation time so that every
 component observes a single consistent notion of "now".  Time is integer
 nanoseconds (see :mod:`repro.units`).
+
+``now`` is a plain slot attribute rather than a property: components read
+it once per scheduled packet, and a property's descriptor call showed up
+measurably in engine profiles.  Treat it as read-only outside this module
+and the engine's run loop — advance time via :meth:`advance_to`, which
+enforces monotonicity.
 """
 
 from __future__ import annotations
@@ -13,25 +19,20 @@ from repro.errors import SchedulingError
 class SimClock:
     """Monotonically advancing integer-nanosecond clock."""
 
-    __slots__ = ("_now",)
+    __slots__ = ("now",)
 
     def __init__(self, start_ns: int = 0) -> None:
         if start_ns < 0:
             raise SchedulingError(f"clock cannot start at negative time {start_ns}")
-        self._now = int(start_ns)
-
-    @property
-    def now(self) -> int:
-        """Current simulation time in nanoseconds."""
-        return self._now
+        self.now = int(start_ns)
 
     def advance_to(self, time_ns: int) -> None:
         """Move the clock forward; rejects travel into the past."""
-        if time_ns < self._now:
+        if time_ns < self.now:
             raise SchedulingError(
-                f"cannot advance clock backwards from {self._now} to {time_ns}"
+                f"cannot advance clock backwards from {self.now} to {time_ns}"
             )
-        self._now = int(time_ns)
+        self.now = int(time_ns)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now}ns)"
+        return f"SimClock(now={self.now}ns)"

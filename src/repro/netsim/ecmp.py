@@ -40,15 +40,24 @@ class EcmpHasher:
         self.n_uplinks = n_uplinks
         self.mode = mode
         self.salt = salt
+        self._packet_mode = mode == "packet"
         self._round_robin = itertools.count()
+        self._flow_cache: dict[FiveTuple, int] = {}
 
     def choose(self, flow: FiveTuple) -> int:
         """Uplink index for a packet of ``flow``.
 
         In flow mode the choice is a pure function of the 5-tuple, so all
-        packets of a flow share a path (consistent hashing); in packet
-        mode successive packets rotate round-robin.
+        packets of a flow share a path (consistent hashing); the blake2b
+        digest is memoised per flow, since every packet of a flow would
+        otherwise recompute the identical hash.  In packet mode
+        successive packets rotate round-robin.
         """
-        if self.mode == "packet":
+        if self._packet_mode:
             return next(self._round_robin) % self.n_uplinks
-        return _stable_hash(flow, self.salt) % self.n_uplinks
+        try:
+            return self._flow_cache[flow]
+        except KeyError:
+            uplink = _stable_hash(flow, self.salt) % self.n_uplinks
+            self._flow_cache[flow] = uplink
+            return uplink

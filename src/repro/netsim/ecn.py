@@ -16,7 +16,7 @@ from repro.errors import ConfigError
 from repro.netsim.engine import Simulator
 from repro.netsim.host import Nic, WindowedTransport
 from repro.netsim.packet import FiveTuple, Packet
-from repro.units import ms
+from repro.units import MTU, ms
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,8 +73,9 @@ class DctcpTransport(WindowedTransport):
         host_name: str,
         nic: Nic,
         rto_ns: int = ms(5),
+        mtu_bytes: int = MTU,
     ) -> None:
-        super().__init__(sim, host_name, nic, rto_ns=rto_ns)
+        super().__init__(sim, host_name, nic, rto_ns=rto_ns, mtu_bytes=mtu_bytes)
         self._alpha: dict[FiveTuple, float] = {}
         self._window_acked: dict[FiveTuple, int] = {}
         self._window_marked: dict[FiveTuple, int] = {}

@@ -43,6 +43,9 @@ class _PacedQueue:
         self._busy = False
         self.drops = 0
         self.tx_bytes = 0
+        # Serialization times memoised per distinct packet size, exactly
+        # as in Link (same rounding, so timing is bit-identical).
+        self._ser_cache: dict[int, int] = {}
 
     def offer(self, packet: Packet) -> bool:
         if self._backlog + packet.size_bytes > self.capacity_bytes:
@@ -60,10 +63,15 @@ class _PacedQueue:
             return
         self._busy = True
         packet = self._queue.popleft()
-        self._backlog -= packet.size_bytes
-        self.tx_bytes += packet.size_bytes
-        done = self.sim.now + serialization_time_ns(packet.size_bytes, self.rate_bps)
-        self.sim.schedule_at(done, lambda: self._emit(packet))
+        size = packet.size_bytes
+        self._backlog -= size
+        self.tx_bytes += size
+        cache = self._ser_cache
+        ser = cache.get(size)
+        if ser is None:
+            ser = cache[size] = serialization_time_ns(size, self.rate_bps)
+        sim = self.sim
+        sim.schedule_at(sim.clock.now + ser, self._emit, packet)
 
     def _emit(self, packet: Packet) -> None:
         self.deliver(packet)
@@ -136,7 +144,7 @@ class FabricCloud:
             raise SimulationError(
                 f"fabric has no remote host {packet.flow.dst_host!r}"
             )
-        self.sim.schedule(self.latency_ns, lambda: host.receive(packet))
+        self.sim.schedule(self.latency_ns, host.receive, packet)
 
     def receive_from_remote(self, packet: Packet) -> None:
         """A packet sent by a remote host."""
@@ -144,10 +152,10 @@ class FabricCloud:
         if dst in self._rack_hosts:
             uplink = self._ecmp.choose(packet.flow)
             queue = self._to_tor[uplink]
-            self.sim.schedule(self.latency_ns, lambda: queue.offer(packet))
+            self.sim.schedule(self.latency_ns, queue.offer, packet)
         elif dst in self._remote_hosts:
             host = self._remote_hosts[dst]
-            self.sim.schedule(self.latency_ns, lambda: host.receive(packet))
+            self.sim.schedule(self.latency_ns, host.receive, packet)
         else:
             raise SimulationError(f"fabric has no route to {dst!r}")
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -20,7 +21,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
 from repro.netsim.packet import FiveTuple, Packet
-from repro.units import MIN_PACKET, MTU, ms, serialization_time_ns
+from repro.units import MAX_FRAME, MIN_PACKET, MTU, ms, serialization_time_ns
 
 FlowCallback = Callable[["FlowState"], None]
 
@@ -72,7 +73,7 @@ class Nic:
         self.sim = sim
         self.link = link
         self.pacing_rate_bps = pacing_rate_bps
-        self._queue: list[Packet] = []
+        self._queue: deque[Packet] = deque()
         self._busy = False
         self._pace_free_ns = 0
         self.tx_bytes = 0
@@ -92,22 +93,24 @@ class Nic:
         if not self._queue:
             self._busy = False
             return
-        if self.pacing_rate_bps is not None and self.sim.now < self._pace_free_ns:
+        sim = self.sim
+        pacing = self.pacing_rate_bps
+        if pacing is not None and sim.clock.now < self._pace_free_ns:
             # Pacing (Sec 7): hold the next packet until its pace slot.
-            self.sim.schedule_at(self._pace_free_ns, self._pump)
+            sim.schedule_at(self._pace_free_ns, self._pump)
             return
-        packet = self._queue.pop(0)
+        packet = self._queue.popleft()
         done_ns = self.link.transmit(packet)
         self.tx_bytes += packet.size_bytes
         self.tx_packets += 1
-        if self.pacing_rate_bps is not None:
-            self._pace_free_ns = self.sim.now + serialization_time_ns(
-                packet.size_bytes, self.pacing_rate_bps
+        if pacing is not None:
+            self._pace_free_ns = sim.clock.now + serialization_time_ns(
+                packet.size_bytes, pacing
             )
             next_free = max(done_ns, self._pace_free_ns)
         else:
             next_free = done_ns
-        self.sim.schedule_at(next_free, self._pump)
+        sim.schedule_at(next_free, self._pump)
 
 
 class WindowedTransport:
@@ -122,13 +125,21 @@ class WindowedTransport:
         host_name: str,
         nic: Nic,
         rto_ns: int = ms(5),
+        mtu_bytes: int = MTU,
     ) -> None:
         if rto_ns <= 0:
             raise ConfigError("RTO must be positive")
+        if not MIN_PACKET <= mtu_bytes <= MAX_FRAME:
+            raise ConfigError(
+                f"mtu_bytes {mtu_bytes} outside [{MIN_PACKET}, {MAX_FRAME}]: "
+                f"frames above {MAX_FRAME} B cannot be binned by the switch "
+                "packet-size histogram counters"
+            )
         self.sim = sim
         self.host_name = host_name
         self.nic = nic
         self.rto_ns = rto_ns
+        self.mtu_bytes = mtu_bytes
         self._flows: dict[FiveTuple, FlowState] = {}
         self.flows_started = 0
         self.flows_completed = 0
@@ -154,8 +165,11 @@ class WindowedTransport:
         """
         if size_bytes <= 0:
             raise ConfigError(f"flow size must be positive, got {size_bytes}")
-        if not MIN_PACKET <= packet_size <= MTU:
-            raise ConfigError(f"packet size {packet_size} outside frame limits")
+        if not MIN_PACKET <= packet_size <= self.mtu_bytes:
+            raise ConfigError(
+                f"packet size {packet_size} outside frame limits "
+                f"[{MIN_PACKET}, {self.mtu_bytes}]"
+            )
         flow = FiveTuple(
             src_host=self.host_name,
             dst_host=dst_host,
@@ -179,23 +193,23 @@ class WindowedTransport:
         return state
 
     def _fill_window(self, state: FlowState) -> None:
-        while (
-            state.inflight < int(state.cwnd)
-            and state.next_seq < state.total_packets
-        ):
-            packet = Packet(
-                flow=state.flow,
-                size_bytes=state.packet_size,
-                created_ns=self.sim.now,
-                seq=state.next_seq,
-            )
+        window = int(state.cwnd)
+        if state.inflight >= window or state.next_seq >= state.total_packets:
+            return
+        send = self.nic.send
+        now = self.sim.clock.now
+        flow = state.flow
+        size = state.packet_size
+        while state.inflight < window and state.next_seq < state.total_packets:
+            packet = Packet(flow=flow, size_bytes=size, created_ns=now,
+                            seq=state.next_seq)
             state.next_seq += 1
             state.inflight += 1
-            self.nic.send(packet)
+            send(packet)
 
     def _arm_timer(self, state: FlowState) -> None:
         deadline = self.sim.now + self.rto_ns
-        self.sim.schedule_at(deadline, lambda: self._check_timeout(state))
+        self.sim.schedule_at(deadline, self._check_timeout, state)
 
     def _check_timeout(self, state: FlowState) -> None:
         if state.done:
@@ -226,7 +240,7 @@ class WindowedTransport:
         ack = Packet(
             flow=packet.flow.reversed(),
             size_bytes=self.ACK_SIZE,
-            created_ns=self.sim.now,
+            created_ns=self.sim.clock.now,
             seq=packet.seq,
             is_ack=True,
         )
@@ -237,10 +251,11 @@ class WindowedTransport:
         state = self._flows.get(flow)
         if state is None or state.done:
             return
+        now = self.sim.clock.now
         if ack.seq == state.acked:
             state.acked += 1
             state.inflight = max(0, state.inflight - 1)
-            state.last_progress_ns = self.sim.now
+            state.last_progress_ns = now
             if state.cwnd < state.ssthresh:
                 state.cwnd += 1.0  # slow start
             else:
@@ -250,9 +265,9 @@ class WindowedTransport:
             jump = ack.seq + 1 - state.acked
             state.acked = ack.seq + 1
             state.inflight = max(0, state.inflight - jump)
-            state.last_progress_ns = self.sim.now
+            state.last_progress_ns = now
         if state.done:
-            state.completed_ns = self.sim.now
+            state.completed_ns = now
             self.flows_completed += 1
             del self._flows[flow]
             if state.on_complete is not None:
@@ -282,12 +297,15 @@ class Server:
         rto_ns: int = ms(5),
         transport_class: type["WindowedTransport"] | None = None,
         pacing_rate_bps: float | None = None,
+        mtu_bytes: int = MTU,
     ) -> None:
         self.sim = sim
         self.name = name
         self.nic = Nic(sim, uplink_to_tor, pacing_rate_bps=pacing_rate_bps)
         transport_class = transport_class or WindowedTransport
-        self.transport = transport_class(sim, name, self.nic, rto_ns=rto_ns)
+        self.transport = transport_class(
+            sim, name, self.nic, rto_ns=rto_ns, mtu_bytes=mtu_bytes
+        )
         self.rx_bytes = 0
         self.rx_packets = 0
         self.on_data_packet: Callable[[Packet], None] | None = None

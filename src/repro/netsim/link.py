@@ -38,6 +38,11 @@ class Link:
         self.rate_bps = rate_bps
         self.propagation_ns = int(propagation_ns)
         self._receiver: Receiver | None = None
+        # Packet sizes come from small per-application mixtures, so the
+        # exact integer serialization time for each distinct size is
+        # memoised: same rounding as serialization_time_ns, no per-packet
+        # float arithmetic on the hot path.
+        self._serialization_cache: dict[int, int] = {}
 
     def connect(self, receiver: Receiver) -> None:
         if self._receiver is not None:
@@ -45,7 +50,12 @@ class Link:
         self._receiver = receiver
 
     def serialization_ns(self, packet: Packet) -> int:
-        return serialization_time_ns(packet.size_bytes, self.rate_bps)
+        cache = self._serialization_cache
+        size = packet.size_bytes
+        ser = cache.get(size)
+        if ser is None:
+            ser = cache[size] = serialization_time_ns(size, self.rate_bps)
+        return ser
 
     def transmit(self, packet: Packet) -> int:
         """Start transmitting ``packet`` now.
@@ -54,9 +64,18 @@ class Link:
         (end of serialization).  Delivery to the receiver happens one
         propagation delay later.
         """
-        if self._receiver is None:
-            raise ConfigError(f"link {self.name!r} transmit before connect")
-        done_ns = self.sim.now + self.serialization_ns(packet)
         receiver = self._receiver
-        self.sim.schedule_at(done_ns + self.propagation_ns, lambda: receiver(packet))
+        if receiver is None:
+            raise ConfigError(f"link {self.name!r} transmit before connect")
+        # Inline serialization_ns and read the clock attribute directly:
+        # this runs once per packet per hop.
+        cache = self._serialization_cache
+        size = packet.size_bytes
+        ser = cache.get(size)
+        if ser is None:
+            ser = cache[size] = serialization_time_ns(size, self.rate_bps)
+        sim = self.sim
+        done_ns = sim.clock.now + ser
+        # Deliver via event args — no per-packet closure allocation.
+        sim.schedule_at(done_ns + self.propagation_ns, receiver, packet)
         return done_ns

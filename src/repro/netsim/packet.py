@@ -10,7 +10,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.units import MIN_PACKET, MTU
+from repro.units import MAX_FRAME, MIN_PACKET
 
 _packet_ids = itertools.count()
 
@@ -26,14 +26,32 @@ class FiveTuple:
     protocol: int = 6  # TCP
 
     def reversed(self) -> "FiveTuple":
-        """The identity of packets flowing the other way."""
-        return FiveTuple(
-            src_host=self.dst_host,
-            dst_host=self.src_host,
-            src_port=self.dst_port,
-            dst_port=self.src_port,
-            protocol=self.protocol,
-        )
+        """The identity of packets flowing the other way.
+
+        Memoised (both directions at once): the ACK path reverses every
+        data packet's flow, and flow identities recur for a flow's whole
+        lifetime.
+        """
+        cached = _reversed_cache.get(self)
+        if cached is None:
+            if len(_reversed_cache) > _REVERSED_CACHE_MAX:
+                _reversed_cache.clear()
+            cached = FiveTuple(
+                src_host=self.dst_host,
+                dst_host=self.src_host,
+                src_port=self.dst_port,
+                dst_port=self.src_port,
+                protocol=self.protocol,
+            )
+            _reversed_cache[self] = cached
+            _reversed_cache[cached] = self
+        return cached
+
+
+#: flow -> reversed-flow memo; bounded so pathological campaigns with
+#: millions of distinct flows cannot grow it without limit.
+_reversed_cache: dict[FiveTuple, FiveTuple] = {}
+_REVERSED_CACHE_MAX = 1 << 20
 
 
 @dataclass(slots=True)
@@ -51,10 +69,14 @@ class Packet:
     is_ack: bool = False
     #: ECN Congestion Experienced mark (set by the switch, echoed on acks).
     ce: bool = False
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_packet_ids.__next__)
 
     def __post_init__(self) -> None:
-        if not MIN_PACKET <= self.size_bytes <= MTU:
+        # The frame bound is the largest ASIC histogram bin, not the MTU:
+        # rack MTU policy lives in RackConfig/WindowedTransport (where a
+        # bad value fails fast with ConfigError at construction time);
+        # this is the last-ditch guard that keeps the counter path total.
+        if not MIN_PACKET <= self.size_bytes <= MAX_FRAME:
             raise ValueError(
-                f"packet size {self.size_bytes} outside [{MIN_PACKET}, {MTU}]"
+                f"packet size {self.size_bytes} outside [{MIN_PACKET}, {MAX_FRAME}]"
             )

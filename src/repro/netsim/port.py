@@ -14,6 +14,7 @@ bytes (Table 1 semantics).
 
 from __future__ import annotations
 
+import bisect
 import enum
 from collections import deque
 from dataclasses import dataclass, field
@@ -38,11 +39,21 @@ SIZE_BIN_LABELS: tuple[str, ...] = (
 )
 
 
+#: Precomputed size -> bin-index table.  The linear edge scan this
+#: replaces ran once per counted packet; a frame can only be 0..1518 B
+#: (oversize MTUs are rejected at RackConfig construction time), so a
+#: 1519-entry lookup table covers every legal frame.
+_SIZE_BIN_TABLE: tuple[int, ...] = tuple(
+    bisect.bisect_left(SIZE_BIN_EDGES, size) for size in range(SIZE_BIN_EDGES[-1] + 1)
+)
+
+_MAX_BINNED = SIZE_BIN_EDGES[-1]
+
+
 def size_bin_index(size_bytes: int) -> int:
     """Histogram bin for a frame of ``size_bytes``."""
-    for index, edge in enumerate(SIZE_BIN_EDGES):
-        if size_bytes <= edge:
-            return index
+    if 0 <= size_bytes <= _MAX_BINNED:
+        return _SIZE_BIN_TABLE[size_bytes]
     raise SimulationError(f"packet size {size_bytes} above largest bin")
 
 
@@ -120,12 +131,14 @@ class Port:
         Returns False (and counts a congestion drop) when the shared
         buffer's dynamic threshold rejects it.
         """
-        depth_at_arrival = self.shared_buffer.queue_bytes(self.name)
+        ecn = self.ecn
+        if ecn is not None:
+            depth_at_arrival = self.shared_buffer.queue_bytes(self.name)
         if not self.shared_buffer.admit(self.name, packet.size_bytes):
             self.counters.tx_drops += 1
             return False
-        if self.ecn is not None:
-            self.ecn.observe(depth_at_arrival, packet)
+        if ecn is not None:
+            ecn.observe(depth_at_arrival, packet)
         self._queue.append(packet)
         if not self._transmitting:
             self._start_next()
@@ -142,7 +155,8 @@ class Port:
         self._transmitting = True
         packet = self._queue.popleft()
         done_ns = self.egress_link.transmit(packet)
-        self.sim.schedule_at(done_ns, lambda: self._finish(packet))
+        # Bound method + event args instead of a per-packet closure.
+        self.sim.schedule_at(done_ns, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
         # Buffer space is held until the packet has fully left the switch,

@@ -15,7 +15,7 @@ from repro.netsim.fabric import FabricCloud
 from repro.netsim.host import Server
 from repro.netsim.link import Link
 from repro.netsim.switch import TorSwitch, TorSwitchConfig
-from repro.units import gbps, ms, us
+from repro.units import MAX_FRAME, MIN_PACKET, MTU, gbps, ms, us
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,12 +32,24 @@ class RackConfig:
     transport: str = "reno"
     #: NIC pacing rate for all hosts; None = unpaced line-rate trains
     pacing_rate_bps: float | None = None
+    #: Largest data frame the rack's hosts may put on the wire.  Validated
+    #: here, at construction time, against the largest ASIC histogram bin
+    #: so a misconfigured (e.g. jumbo) MTU fails fast with a clear error
+    #: instead of crashing mid-simulation deep in the counter path.
+    mtu_bytes: int = MTU
 
     def __post_init__(self) -> None:
         if self.n_remote_hosts < 0:
             raise ConfigError("remote host count cannot be negative")
         if self.transport not in ("reno", "dctcp"):
             raise ConfigError(f"unknown transport {self.transport!r}")
+        if not MIN_PACKET <= self.mtu_bytes <= MAX_FRAME:
+            raise ConfigError(
+                f"rack {self.name!r} mtu_bytes={self.mtu_bytes} outside "
+                f"[{MIN_PACKET}, {MAX_FRAME}]: the switch packet-size "
+                f"histogram tops out at the {MAX_FRAME} B RMON bin, so "
+                "larger frames cannot be counted — lower the workload MTU"
+            )
 
     def transport_class(self):
         if self.transport == "dctcp":
@@ -107,6 +119,7 @@ def build_rack(sim: Simulator, config: RackConfig | None = None) -> Rack:
             rto_ns=config.rto_ns,
             transport_class=config.transport_class(),
             pacing_rate_bps=config.pacing_rate_bps,
+            mtu_bytes=config.mtu_bytes,
         )
         nic_link.connect(
             lambda packet, host=name: tor.receive_from_server(host, packet)
@@ -134,6 +147,7 @@ def build_rack(sim: Simulator, config: RackConfig | None = None) -> Rack:
             rto_ns=config.rto_ns,
             transport_class=config.transport_class(),
             pacing_rate_bps=config.pacing_rate_bps,
+            mtu_bytes=config.mtu_bytes,
         )
         remote_link.connect(fabric.receive_from_remote)
         fabric.attach_remote(remote)

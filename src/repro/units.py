@@ -88,5 +88,11 @@ MTU = 1500
 MIN_PACKET = 64
 """Minimum Ethernet frame size in bytes."""
 
+MAX_FRAME = 1518
+"""Largest countable Ethernet frame in bytes (1500 B MTU + 18 B of
+header/FCS) — the upper edge of the largest ASIC RMON histogram bin.
+Rack MTUs above this cannot be binned by the switch counters and are
+rejected at configuration time."""
+
 TCP_HEADER_OVERHEAD = 66
 """Ethernet + IP + TCP header bytes for a typical data-center packet."""

@@ -35,10 +35,46 @@ GOLDEN_SYNTH_CRCS = {
     "hadoop": 0xEEB87BCD,
 }
 
+#: Netsim-backend golden CRCs: ``NetsimBackend(seed=0,
+#: scale=NetsimScale.smoke())`` sampling ``single_port_plan(app, 2,
+#: ms(6), seed=0, port="down0")``.  Captured before the event-engine
+#: performance pass; every optimisation of the hot path must keep these
+#: byte-identical (same seeds → same traces is the simulator's core
+#: determinism contract).  A change here is a reproducibility break, not
+#: a test to update casually.
+GOLDEN_NETSIM_WINDOW_CRCS = {
+    ("web", 0): 0x39DFBC09,
+    ("web", 1): 0x53D95016,
+    ("cache", 0): 0xF7F1E90B,
+    ("cache", 1): 0x444BB5E3,
+    ("hadoop", 0): 0xC0C4E954,
+    ("hadoop", 1): 0x3D080C39,
+}
+GOLDEN_NETSIM_HIST_CRCS = {
+    "web": 0x93E4DA7D,
+    "cache": 0x0BC46082,
+    "hadoop": 0xBDC75F44,
+}
+GOLDEN_NETSIM_BUFFER_CRCS = {
+    "web": 0x214AAF97,
+    "cache": 0x5673DFB3,
+    "hadoop": 0x92E7AAFD,
+}
+
 
 def traces_crc(traces) -> int:
     crc = 0
     for trace in traces:
+        crc = zlib.crc32(trace.values.tobytes(), crc)
+        crc = zlib.crc32(trace.timestamps_ns.tobytes(), crc)
+    return crc
+
+
+def trace_dict_crc(traces: dict) -> int:
+    """crc32 over (values || timestamps) of every trace, by sorted name."""
+    crc = 0
+    for name in sorted(traces):
+        trace = traces[name]
         crc = zlib.crc32(trace.values.tobytes(), crc)
         crc = zlib.crc32(trace.timestamps_ns.tobytes(), crc)
     return crc
@@ -74,6 +110,51 @@ class TestSynthParity:
         by_instance = app_byte_traces("cache", seed=0, n_windows=2, window_s=1.0,
                                       backend=SynthBackend(seed=0))
         assert_traces_equal(by_name, by_instance)
+
+
+class TestNetsimGoldenDeterminism:
+    """Pin netsim per-window traces bit-for-bit across code changes."""
+
+    def backend(self):
+        return NetsimBackend(seed=0, scale=NetsimScale.smoke())
+
+    def plan(self, app):
+        return single_port_plan(app, 2, ms(6), seed=0, port="down0")
+
+    @pytest.mark.parametrize("app", sorted(GOLDEN_NETSIM_HIST_CRCS))
+    def test_window_trace_crcs(self, app):
+        backend = self.backend()
+        plan = self.plan(app)
+        for index, window in enumerate(plan.windows):
+            crc = trace_dict_crc(backend.sample_window(window))
+            assert crc == GOLDEN_NETSIM_WINDOW_CRCS[(app, index)], (
+                f"{app} window {index}: netsim traces changed byte-for-byte "
+                "(determinism regression or an intentional model change)"
+            )
+
+    @pytest.mark.parametrize("app", sorted(GOLDEN_NETSIM_HIST_CRCS))
+    def test_histogram_trace_crcs(self, app):
+        backend = self.backend()
+        window = self.plan(app).windows[0]
+        crc = trace_dict_crc(backend.sample_histogram_window(window))
+        assert crc == GOLDEN_NETSIM_HIST_CRCS[app]
+
+    @pytest.mark.parametrize("app", sorted(GOLDEN_NETSIM_BUFFER_CRCS))
+    def test_buffer_trace_crcs(self, app):
+        backend = self.backend()
+        window = self.plan(app).windows[0]
+        trace = backend.sample_buffer_window(window)
+        crc = zlib.crc32(trace.values.tobytes())
+        crc = zlib.crc32(trace.timestamps_ns.tobytes(), crc)
+        assert crc == GOLDEN_NETSIM_BUFFER_CRCS[app]
+
+    def test_repeat_sampling_is_bit_identical(self):
+        # Same backend object, same window, sampled twice: stateless.
+        backend = self.backend()
+        window = self.plan("cache").windows[0]
+        first = backend.sample_window(window)
+        second = backend.sample_window(window)
+        assert trace_dict_crc(first) == trace_dict_crc(second)
 
 
 class TestNetsimThroughCampaign:

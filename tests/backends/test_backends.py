@@ -136,8 +136,12 @@ class TestSynthBackend:
 
 class TestNetsimScale:
     def test_defaults_valid(self):
+        # The default rack matches the paper's measured ToR (16 down,
+        # 4 up); the window cap reflects the post-optimisation budget.
         scale = NetsimScale()
-        assert scale.max_window_ns == ms(20)
+        assert scale.n_downlinks == 16
+        assert scale.n_uplinks == 4
+        assert scale.max_window_ns == ms(40)
 
     def test_smoke_is_smaller(self):
         smoke = NetsimScale.smoke()

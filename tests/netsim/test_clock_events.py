@@ -85,3 +85,52 @@ class TestEventQueue:
     def test_negative_time_rejected(self):
         with pytest.raises(SchedulingError):
             EventQueue().push(-5, lambda: None)
+
+    def test_len_is_live_counter_not_heap_scan(self):
+        queue = EventQueue()
+        events = [queue.push(i, lambda: None) for i in range(10)]
+        assert len(queue) == 10 and bool(queue)
+        for event in events[:4]:
+            event.cancel()
+        assert len(queue) == 6
+        while queue:
+            queue.pop()
+        assert len(queue) == 0 and not queue
+
+    def test_cancel_after_pop_is_inert(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # must not corrupt the live counter
+        assert len(queue) == 1
+        assert queue.pop().time_ns == 2
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_heap_stays_bounded_under_mass_cancellation(self):
+        # Regression: cancelled entries used to linger until they reached
+        # the heap top, so timer-heavy workloads grew the heap without
+        # bound.  Compaction keeps physical size within a constant factor
+        # of the live count.
+        queue = EventQueue()
+        keeper = queue.push(10**9, lambda: None)
+        for i in range(10_000):
+            queue.push(i + 1, lambda: None).cancel()
+            assert queue.heap_size <= max(queue.COMPACT_MIN, 2 * len(queue)) + 1
+        assert len(queue) == 1
+        assert queue.pop() is keeper
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        events = [queue.push(time, lambda: None) for time in (5, 3, 9, 3, 7, 1)]
+        events[2].cancel()
+        queue.compact()
+        order = [(queue.pop().time_ns) for _ in range(5)]
+        assert order == [1, 3, 3, 5, 7]

@@ -79,6 +79,55 @@ def test_max_events_guard():
         sim.run_until(10_000_000, max_events=100)
 
 
+def test_max_events_exact_bound_completes_and_advances_clock():
+    # Regression: processing exactly max_events used to raise even when
+    # the simulation was finished, leaving the clock short of end_ns.
+    sim = Simulator()
+    fired = []
+    for delay in (10, 20, 30):
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    processed = sim.run_until(1000, max_events=3)
+    assert processed == 3
+    assert fired == [10, 20, 30]
+    assert sim.now == 1000  # clock reaches the horizon on the clean path
+
+
+def test_max_events_raise_leaves_consistent_resumable_clock():
+    # Regression: the raise path must leave the clock at the last
+    # processed event (not stuck at the start, not jumped to end_ns past
+    # unprocessed events) so a caller that catches the error can resume.
+    sim = Simulator()
+    fired = []
+
+    def reschedule():
+        fired.append(sim.now)
+        sim.schedule(1, reschedule)
+
+    sim.schedule(1, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run_until(10_000, max_events=5)
+    assert fired == [1, 2, 3, 4, 5]
+    assert sim.now == 5  # time of the last processed event
+
+    # Resuming picks up exactly where the bounded run stopped.
+    with pytest.raises(SimulationError):
+        sim.run_until(10_000, max_events=5)
+    assert fired == [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+    assert sim.now == 10
+
+
+def test_past_event_via_raw_push_still_rejected():
+    # Direct queue.push bypasses schedule_at's validation; the run loop
+    # must still refuse to move the clock backwards.
+    from repro.errors import SchedulingError
+
+    sim = Simulator()
+    sim.run_until(100)
+    sim.queue.push(50, lambda: None)
+    with pytest.raises(SchedulingError):
+        sim.run_until(200)
+
+
 def test_deterministic_given_seed():
     def run(seed):
         sim = Simulator(seed=seed)

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.netsim import Link, Simulator
 from repro.netsim.packet import FiveTuple, Packet
-from repro.units import MTU, gbps
+from repro.units import MAX_FRAME, MTU, gbps
 
 
 @pytest.fixture
@@ -27,10 +27,22 @@ class TestFiveTuple:
 
 class TestPacket:
     def test_size_limits_enforced(self, flow):
+        # The packet-level bound is the largest histogram bin (MAX_FRAME),
+        # not the MTU: MTU policy is enforced by RackConfig / the
+        # transport at construction time.
         with pytest.raises(ValueError):
-            Packet(flow=flow, size_bytes=MTU + 1, created_ns=0)
+            Packet(flow=flow, size_bytes=MAX_FRAME + 1, created_ns=0)
         with pytest.raises(ValueError):
             Packet(flow=flow, size_bytes=32, created_ns=0)
+        assert Packet(flow=flow, size_bytes=MTU + 1, created_ns=0).size_bytes == MTU + 1
+
+    def test_reversed_memoised(self, flow):
+        rev = flow.reversed()
+        # Repeated reversals return the cached object (equality-keyed, so
+        # an equal flow from elsewhere may share the same cache entry).
+        assert flow.reversed() is rev
+        assert rev.reversed() == flow
+        assert rev.reversed() is rev.reversed()
 
     def test_unique_ids(self, flow):
         a = Packet(flow=flow, size_bytes=100, created_ns=0)

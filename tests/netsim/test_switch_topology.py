@@ -101,6 +101,54 @@ class TestWiring:
         assert rack.tor.config.oversubscription == pytest.approx(4.0)
 
 
+class TestRackMtu:
+    """Oversize MTUs must fail at construction, not mid-simulation.
+
+    Regression for the old behaviour where a >1518 B frame only blew up
+    inside ``size_bin_index`` (SimulationError) once the first packet hit
+    a switch counter, long after the misconfiguration was made.
+    """
+
+    def test_jumbo_mtu_rejected_at_config_time(self):
+        with pytest.raises(ConfigError, match="1518"):
+            RackConfig(mtu_bytes=9000)
+
+    def test_tiny_mtu_rejected_at_config_time(self):
+        with pytest.raises(ConfigError):
+            RackConfig(mtu_bytes=32)
+
+    def test_max_frame_mtu_builds_and_sends(self):
+        sim = Simulator()
+        config = RackConfig(
+            name="t",
+            switch=TorSwitchConfig(n_downlinks=2, n_uplinks=1),
+            n_remote_hosts=1,
+            mtu_bytes=1518,
+        )
+        rack = build_rack(sim, config)
+        assert rack.servers[0].transport.mtu_bytes == 1518
+        assert rack.remote_hosts[0].transport.mtu_bytes == 1518
+        rack.servers[0].send_flow(rack.servers[1].name, 30_000, packet_size=1518)
+        sim.run_for(ms(10))
+        assert rack.servers[1].rx_bytes >= 30_000
+
+    def test_flow_packet_size_capped_by_rack_mtu(self, small_rack):
+        with pytest.raises(ConfigError, match="frame limits"):
+            small_rack.servers[0].send_flow(
+                small_rack.servers[1].name, 30_000, packet_size=1518
+            )
+
+    def test_transport_rejects_oversize_mtu_directly(self):
+        from repro.netsim.host import Nic, WindowedTransport
+        from repro.netsim.link import Link
+        from repro.units import gbps
+
+        sim = Simulator()
+        nic = Nic(sim, Link(sim, "l", rate_bps=gbps(10)))
+        with pytest.raises(ConfigError, match="histogram"):
+            WindowedTransport(sim, "h", nic, mtu_bytes=9000)
+
+
 class TestIncast:
     def test_fan_in_fills_buffer_and_can_drop(self):
         """Many-to-one traffic must stress the shared buffer (Sec 6.3)."""
