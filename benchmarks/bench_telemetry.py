@@ -1,0 +1,158 @@
+"""Telemetry overhead guard: instrumentation must stay out of the hot path.
+
+Runs the pinned netsim window workload from ``bench_netsim`` twice per
+round — once with the ambient registry live, once with telemetry
+disabled (the null-object registry) — interleaved so machine drift hits
+both configurations equally.  Min-of-rounds wall time is compared and
+the enabled run may cost at most ``MAX_OVERHEAD_FRACTION`` more.
+
+The run also re-checks the telemetry isolation contract from
+``tests/telemetry/test_instrumentation.py``: enabling telemetry must not
+change a single trace byte.
+
+Run::
+
+    pytest benchmarks/bench_telemetry.py -q
+
+Artifacts land in ``benchmarks/artifacts/`` (override the directory with
+``REPRO_BENCH_ARTIFACT_DIR``):
+
+* ``telemetry_overhead.json`` — per-config timings + overhead fraction,
+* ``telemetry_metrics.json`` — the metrics snapshot the instrumented
+  run produced, stamped with the build-info header.
+"""
+
+import json
+import os
+import time
+import zlib
+from pathlib import Path
+
+from repro.backends import NetsimBackend, NetsimScale
+from repro.backends.base import single_port_plan
+from repro.telemetry.export import snapshot_with_header
+from repro.telemetry.metrics import get_registry, scoped_registry, set_enabled
+from repro.units import ms, seconds
+
+#: ISSUE acceptance bound: telemetry may cost < 5 % events/sec.  Compared
+#: against min-of-rounds wall time, which filters scheduler noise.
+MAX_OVERHEAD_FRACTION = 0.05
+
+ROUNDS = 5
+
+
+def _pinned_scale() -> NetsimScale:
+    """Same pinned pre-pass scale as ``bench_netsim`` so the two
+    benchmarks describe the same workload."""
+    return NetsimScale(
+        n_downlinks=8,
+        n_uplinks=4,
+        n_remote_hosts=12,
+        warmup_ns=ms(10),
+        max_window_ns=ms(20),
+    )
+
+
+def _window():
+    plan = single_port_plan("cache", 1, seconds(2), seed=0, port="down0")
+    return plan.windows[0]
+
+
+def _traces_crc(traces) -> int:
+    crc = 0
+    for name in sorted(traces):
+        trace = traces[name]
+        crc = zlib.crc32(trace.values.tobytes(), crc)
+        crc = zlib.crc32(trace.timestamps_ns.tobytes(), crc)
+    return crc
+
+
+def _artifact_dir() -> Path:
+    directory = Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "benchmarks/artifacts"))
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def _timed_window(backend, window) -> tuple[float, int]:
+    start = time.perf_counter()
+    traces = backend.sample_window(window)
+    return time.perf_counter() - start, _traces_crc(traces)
+
+
+def test_telemetry_overhead_below_bound():
+    backend = NetsimBackend(seed=0, scale=_pinned_scale())
+    window = _window()
+
+    enabled_times: list[float] = []
+    disabled_times: list[float] = []
+    crcs: set[int] = set()
+    metrics_payload: dict = {}
+
+    def run_enabled() -> None:
+        nonlocal metrics_payload
+        with scoped_registry():
+            wall_s, crc = _timed_window(backend, window)
+            metrics_payload = snapshot_with_header(
+                get_registry(), extra={"workload": "bench_telemetry pinned window"}
+            )
+        enabled_times.append(wall_s)
+        crcs.add(crc)
+
+    def run_disabled() -> None:
+        try:
+            set_enabled(False)
+            wall_s, crc = _timed_window(backend, window)
+        finally:
+            set_enabled(True)
+        disabled_times.append(wall_s)
+        crcs.add(crc)
+
+    # untimed warm-up so neither configuration pays first-run costs
+    backend.sample_window(window)
+
+    # alternate which configuration goes first so slow thermal/frequency
+    # drift on shared runners cancels instead of biasing one side
+    for round_idx in range(ROUNDS):
+        first, second = (
+            (run_enabled, run_disabled)
+            if round_idx % 2 == 0
+            else (run_disabled, run_enabled)
+        )
+        first()
+        second()
+
+    assert len(crcs) == 1, (
+        "telemetry on/off changed the traces — instrumentation is feeding "
+        f"simulation state (crcs: {sorted(hex(c) for c in crcs)})"
+    )
+
+    best_enabled = min(enabled_times)
+    best_disabled = min(disabled_times)
+    overhead = best_enabled / best_disabled - 1.0
+
+    directory = _artifact_dir()
+    overhead_payload = {
+        "workload": "cache window, pinned 8-down/4-up scale, 20 ms window",
+        "rounds": ROUNDS,
+        "min_enabled_s": round(best_enabled, 4),
+        "min_disabled_s": round(best_disabled, 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+        "trace_crc": hex(crcs.pop()),
+    }
+    (directory / "telemetry_overhead.json").write_text(
+        json.dumps(overhead_payload, indent=2, sort_keys=True) + "\n"
+    )
+    (directory / "telemetry_metrics.json").write_text(
+        json.dumps(metrics_payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"\ntelemetry bench: enabled {best_enabled:.3f}s vs disabled "
+        f"{best_disabled:.3f}s -> {overhead:+.2%} overhead "
+        f"(bound {MAX_OVERHEAD_FRACTION:.0%})"
+    )
+
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"telemetry costs {overhead:.2%} (min-of-{ROUNDS} rounds), "
+        f"bound is {MAX_OVERHEAD_FRACTION:.0%}"
+    )

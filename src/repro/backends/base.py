@@ -26,12 +26,15 @@ byte-identical for every backend.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
 from repro.core.campaign import CampaignPlan, CampaignWindow
 from repro.core.samples import CounterTrace
 from repro.core.seeding import site_rng
 from repro.errors import ConfigError
+from repro.telemetry.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.synth.rackmodel import RackWindow
@@ -40,6 +43,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
 #: paper's racks expose 16 server downlinks and 4 fabric uplinks.
 DEFAULT_N_DOWNLINKS = 16
 DEFAULT_N_UPLINKS = 4
+
+
+@contextmanager
+def timed_window(backend_name: str) -> Iterator[None]:
+    """Observe one window collection's wall latency into the backend's
+    ``backend.<name>.sample_window_ns`` histogram.
+
+    Wall-clock reads live here — on the backend boundary, outside the
+    ``netsim``/``synth`` determinism-lint scope — and the measured time
+    never feeds the data path, so traces stay byte-identical with
+    telemetry on or off.
+    """
+    start_ns = time.monotonic_ns()
+    try:
+        yield
+    finally:
+        get_registry().histogram(
+            f"backend.{backend_name}.sample_window_ns",
+            "wall-clock latency of one window collection",
+        ).observe(time.monotonic_ns() - start_ns)
 
 
 def default_port_names(

@@ -34,11 +34,13 @@ into ``ProcessPoolExecutor`` workers.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import ClassVar
 
 import numpy as np
 
+from repro.backends.base import timed_window
 from repro.core.campaign import CampaignWindow
 from repro.core.counters import bind_peak_buffer, bind_tx_bytes, bind_tx_size_hist
 from repro.core.sampler import HighResSampler, SamplerConfig
@@ -54,6 +56,7 @@ from repro.netsim import (
 )
 from repro.synth.calibration import BASE_TICK_NS
 from repro.synth.rackmodel import RackWindow
+from repro.telemetry.metrics import get_registry
 from repro.units import NS_PER_S, ms, us
 from repro.workloads import (
     CacheConfig,
@@ -202,11 +205,32 @@ class NetsimBackend:
             sim.run_for(self.scale.warmup_ns)
         return sim, SwitchCounterSurface(rack.tor)
 
+    @staticmethod
+    def _publish_engine_stats(sim: Simulator, elapsed_ns: int) -> None:
+        """Mirror one finished window's engine tallies into telemetry.
+
+        Reads existing engine counters *after* the window completes —
+        nothing here runs in the per-event hot loop, and nothing feeds
+        back into simulation state.
+        """
+        registry = get_registry()
+        registry.counter(
+            "netsim.events_processed", "simulation events run across windows"
+        ).inc(sim.events_processed)
+        registry.gauge(
+            "netsim.peak_heap_size", "largest event-heap footprint seen"
+        ).set_max(sim.queue.peak_heap_size)
+        if elapsed_ns > 0:
+            registry.gauge(
+                "netsim.events_per_sec", "engine throughput high-water mark"
+            ).set_max(sim.events_processed * 1e9 / elapsed_ns)
+
     def _sample(
         self, window: CampaignWindow, make_bindings
     ) -> dict[str, CounterTrace]:
         """Run the polling loop over ``make_bindings(surface, port)``,
         renaming traces from the reduced rack's port back to the plan's."""
+        start_wall = time.monotonic_ns()
         sim, surface = self._build(window)
         measured = self.map_port(window.port_name)
         bindings = make_bindings(surface, measured)
@@ -216,6 +240,7 @@ class NetsimBackend:
             rng=self._window_seed(window, "sampler"),
         )
         report = sampler.run_in_sim(sim, self._duration_ns(window))
+        self._publish_engine_stats(sim, time.monotonic_ns() - start_wall)
         traces: dict[str, CounterTrace] = {}
         for name, trace in report.traces.items():
             if name.startswith(f"{measured}."):
@@ -228,18 +253,20 @@ class NetsimBackend:
     # -- protocol ------------------------------------------------------------
 
     def sample_window(self, window: CampaignWindow) -> dict[str, CounterTrace]:
-        return self._sample(
-            window, lambda surface, port: [bind_tx_bytes(surface, port)]
-        )
+        with timed_window(self.name):
+            return self._sample(
+                window, lambda surface, port: [bind_tx_bytes(surface, port)]
+            )
 
     def sample_histogram_window(self, window: CampaignWindow) -> dict[str, CounterTrace]:
-        return self._sample(
-            window,
-            lambda surface, port: [
-                bind_tx_bytes(surface, port),
-                bind_tx_size_hist(surface, port),
-            ],
-        )
+        with timed_window(self.name):
+            return self._sample(
+                window,
+                lambda surface, port: [
+                    bind_tx_bytes(surface, port),
+                    bind_tx_size_hist(surface, port),
+                ],
+            )
 
     def sample_rack_window(
         self, window: CampaignWindow, activity: float = 1.0
@@ -247,6 +274,7 @@ class NetsimBackend:
         """Whole-rack utilization, measured by stepping the simulation one
         synthesiser tick at a time and differencing every port's byte
         counters — the netsim analogue of the rack synthesiser's output."""
+        start_wall = time.monotonic_ns()
         sim, surface = self._build(window, activity)
         n_ticks = self._duration_ns(window) // self.tick_ns
         if n_ticks <= 0:
@@ -276,6 +304,7 @@ class NetsimBackend:
             up_egress_util[tick] = (up_tx - prev_up_tx) / up_capacity
             up_ingress_util[tick] = (up_rx - prev_up_rx) / up_capacity
             prev_down, prev_up_tx, prev_up_rx = down, up_tx, up_rx
+        self._publish_engine_stats(sim, time.monotonic_ns() - start_wall)
         return RackWindow(
             app=window.rack_type,
             tick_ns=self.tick_ns,
@@ -287,6 +316,7 @@ class NetsimBackend:
         )
 
     def sample_buffer_window(self, window: CampaignWindow) -> CounterTrace:
+        start_wall = time.monotonic_ns()
         sim, surface = self._build(window)
         sampler = HighResSampler(
             SamplerConfig(interval_ns=self.scale.buffer_interval_ns),
@@ -294,6 +324,7 @@ class NetsimBackend:
             rng=self._window_seed(window, "sampler"),
         )
         report = sampler.run_in_sim(sim, self._duration_ns(window))
+        self._publish_engine_stats(sim, time.monotonic_ns() - start_wall)
         trace = report.traces["shared_buffer.peak"]
         trace.meta["backend"] = self.name
         trace.meta["capacity_bytes"] = surface.buffer_capacity_bytes

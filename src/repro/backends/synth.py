@@ -21,7 +21,7 @@ from typing import ClassVar
 
 import numpy as np
 
-from repro.backends.base import DEFAULT_N_DOWNLINKS, DEFAULT_N_UPLINKS
+from repro.backends.base import DEFAULT_N_DOWNLINKS, DEFAULT_N_UPLINKS, timed_window
 from repro.core.campaign import CampaignWindow
 from repro.core.samples import CounterTrace, ValueKind
 from repro.core.seeding import window_rng
@@ -75,10 +75,11 @@ class SynthBackend:
     # -- protocol ------------------------------------------------------------
 
     def sample_window(self, window: CampaignWindow) -> dict[str, CounterTrace]:
-        source = SyntheticCampaignSource(
-            seed=self.seed, tick_ns=self.tick_ns, rate_bps=self.rate_bps
-        )
-        return source.sample_window(window)
+        with timed_window(self.name):
+            source = SyntheticCampaignSource(
+                seed=self.seed, tick_ns=self.tick_ns, rate_bps=self.rate_bps
+            )
+            return source.sample_window(window)
 
     def sample_histogram_window(self, window: CampaignWindow) -> dict[str, CounterTrace]:
         profile = _profile(window.rack_type)

@@ -24,6 +24,20 @@ from repro.obs import get_logger, setup_logging
 _log = get_logger("cli")
 
 
+class _VersionAction(argparse.Action):
+    """``--version``: package version + git describe, computed lazily so
+    ordinary runs never pay the ``git describe`` subprocess."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.telemetry.export import git_describe, package_version
+
+        print(f"repro {package_version()} ({git_describe()})")
+        parser.exit()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -119,6 +133,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume the ext-chaos campaign from --checkpoint instead of restarting",
     )
+    parser.add_argument(
+        "--version",
+        action=_VersionAction,
+        help="print package version and git describe, then exit",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a telemetry snapshot on exit: Prometheus text exposition "
+            "when PATH ends in .prom/.txt, JSON (with build-info header) "
+            "otherwise"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record pipeline spans and write them as JSON lines on exit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-stage CPU time and peak RSS gauges (see --metrics-out)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable metric collection entirely (used by overhead benchmarks)",
+    )
     return parser
 
 
@@ -158,9 +203,52 @@ def _netsim_kwargs(experiment_id: str) -> dict:
     return reduced.get(experiment_id, {})
 
 
+def _finish_telemetry(args, tracer) -> None:
+    """Export metrics/spans and log the one-line summary (at ``-v``)."""
+    from repro.telemetry import (
+        get_registry,
+        install_tracer,
+        write_metrics_json,
+        write_metrics_prometheus,
+    )
+
+    registry = get_registry()
+    if args.verbose > 0 and not args.quiet:
+        _log.info("%s", registry.summary_line())
+    if args.metrics_out:
+        if args.metrics_out.endswith((".prom", ".txt")):
+            path = write_metrics_prometheus(args.metrics_out, registry)
+        else:
+            path = write_metrics_json(
+                args.metrics_out, registry, extra={"argv": sys.argv[1:]}
+            )
+        _log.info("wrote metrics to %s", path)
+    if tracer is not None:
+        install_tracer(None)
+        if args.trace_out:
+            _log.info("wrote spans to %s", tracer.export_jsonl(args.trace_out))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(-1 if args.quiet else args.verbose)
+    from repro.telemetry import Tracer, install_tracer, set_enabled, set_profiling
+
+    if args.no_telemetry:
+        set_enabled(False)
+    if args.profile:
+        set_profiling(True)
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer()
+        install_tracer(tracer)
+    try:
+        return _dispatch(args)
+    finally:
+        _finish_telemetry(args, tracer)
+
+
+def _dispatch(args) -> int:
     if args.experiment == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -214,7 +302,10 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["checkpoint_dir"] = args.checkpoint
                 kwargs["resume"] = args.resume
         _log.debug("running %s with %s", experiment_id, kwargs or "defaults")
-        result = run_experiment(experiment_id, seed=args.seed, **kwargs)
+        from repro.telemetry import profile_stage, span
+
+        with span("experiment", id=experiment_id), profile_stage(experiment_id):
+            result = run_experiment(experiment_id, seed=args.seed, **kwargs)
         if args.json:
             payload = result.to_dict(include_series=args.series)
             payload["seconds"] = round(time.time() - start, 2)

@@ -30,6 +30,8 @@ from repro.core.samples import CounterTrace
 from repro.core.traceio import load_traces, save_traces
 from repro.errors import AnalysisError, CollectionError, ConfigError, ReproError
 from repro.obs import get_logger
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import span
 from repro.units import NS_PER_S, seconds
 
 _log = get_logger("campaign")
@@ -351,8 +353,12 @@ class MeasurementCampaign:
             )
         trace_file = None
         if traces:
-            save_traces(self._trace_path(outcome.index), traces)
-            trace_file = self._trace_path(outcome.index).name
+            archive = self._trace_path(outcome.index)
+            save_traces(archive, traces)
+            trace_file = archive.name
+            get_registry().counter(
+                "campaign.checkpoint_bytes", "bytes persisted to window checkpoints"
+            ).inc(archive.stat().st_size)
         self._append_manifest(
             {
                 "index": outcome.index,
@@ -389,6 +395,7 @@ class MeasurementCampaign:
     def _run_window(
         self, index: int, window: CampaignWindow
     ) -> tuple[WindowOutcome, dict[str, CounterTrace]]:
+        registry = get_registry()
         retry = self.retry or RetryPolicy(max_attempts=1)
         delay = retry.backoff_s
         last_error = ""
@@ -404,6 +411,9 @@ class MeasurementCampaign:
                     window.rack_id, window.hour, attempt, exc,
                 )
                 if attempt < retry.max_attempts:
+                    registry.counter(
+                        "campaign.window_retries", "window collection attempts retried"
+                    ).inc()
                     if delay > 0:
                         self._sleep(delay)
                     delay *= retry.backoff_factor
@@ -441,6 +451,7 @@ class MeasurementCampaign:
         window identity, a resumed run reproduces the traces an
         uninterrupted run would have produced.
         """
+        registry = get_registry()
         done = self._load_checkpoint() if resume else {}
         traces_by_index: dict[int, dict[str, CounterTrace]] = {}
         outcomes: list[WindowOutcome] = []
@@ -453,14 +464,26 @@ class MeasurementCampaign:
                     del done[index]
             else:
                 traces_by_index[index] = {}
-        for index, window in enumerate(self.plan.windows):
-            if index in done:
-                outcomes.append(done[index])
-                continue
-            outcome, window_traces = self._run_window(index, window)
-            traces_by_index[index] = window_traces
-            outcomes.append(outcome)
-            self._checkpoint_window(outcome, window_traces)
+        registry.counter(
+            "campaign.windows_resumed", "windows restored from checkpoint"
+        ).inc(len(done))
+        with span("campaign.run", n_windows=len(self.plan.windows), resumed=len(done)):
+            for index, window in enumerate(self.plan.windows):
+                if index in done:
+                    outcomes.append(done[index])
+                    continue
+                with span(
+                    "campaign.window", rack=window.rack_id, hour=window.hour
+                ) as window_span:
+                    outcome, window_traces = self._run_window(index, window)
+                    window_span.set_attr("status", outcome.status.value)
+                registry.counter(
+                    f"campaign.windows_{outcome.status.value}",
+                    "window collections by terminal status",
+                ).inc()
+                traces_by_index[index] = window_traces
+                outcomes.append(outcome)
+                self._checkpoint_window(outcome, window_traces)
         outcomes.sort(key=lambda o: o.index)
         return CampaignResult(
             plan=self.plan,

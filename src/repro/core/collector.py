@@ -10,6 +10,12 @@ The pending queue is optionally *bounded*: production collectors see
 backpressure, and a bounded queue with an explicit drop policy turns
 "collector fell behind" into counted, analyzable sample loss (gaps with
 true timestamps) instead of unbounded memory growth.
+
+Telemetry: drops, shipped batches/bytes, and the pending-queue
+high-water mark are mirrored into :mod:`repro.telemetry` —
+``collector.samples_dropped`` / ``.batches_shipped`` / ``.bytes_shipped``
+counters and the ``collector.queue_depth_high_water`` gauge — so
+"collector fell behind" is a scrapeable number, not just trace metadata.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import numpy as np
 from repro.core.counters import CounterSpec
 from repro.core.samples import CounterTrace
 from repro.errors import CollectionError, ConfigError, CounterError
+from repro.telemetry.metrics import get_registry
 
 #: Rough wire size of one sample record: 8-byte timestamp + 8-byte value
 #: per scalar (histogram counters count one value per bin).
@@ -37,7 +44,14 @@ class _Stream:
     timestamps: list[int] = field(default_factory=list)
     values: list = field(default_factory=list)
     pending: int = 0
+    #: drops since the stream was last (re)attached — feeds the trace's
+    #: per-window ``samples_dropped`` meta
     dropped: int = 0
+    #: lifetime drops across reattaches — feeds ``dropped_count`` and the
+    #: telemetry counter, and must never reset (the PR-1 drop tally was
+    #: silently zeroed when a stream was reattached for a new window)
+    dropped_total: int = 0
+    pending_high_water: int = 0
 
 
 class CollectorService:
@@ -86,9 +100,30 @@ class CollectorService:
         self.samples_dropped = 0
         self.ship_failures = 0
 
-    def register(self, spec: CounterSpec) -> None:
-        if spec.name in self._streams:
-            raise CounterError(f"counter {spec.name!r} registered twice")
+    def register(self, spec: CounterSpec, reattach: bool = False) -> None:
+        """Register a counter's stream, or with ``reattach=True`` reset an
+        existing stream's sample buffers for a new collection window.
+
+        Reattaching clears buffered samples and the per-window drop
+        count but *preserves* the lifetime drop tally
+        (:meth:`dropped_count`, ``samples_dropped``, and the telemetry
+        counter keep accumulating), so a collector reused across windows
+        reports true cumulative loss.
+        """
+        existing = self._streams.get(spec.name)
+        if existing is not None:
+            if not reattach:
+                raise CounterError(f"counter {spec.name!r} registered twice")
+            if existing.spec != spec:
+                raise CounterError(
+                    f"cannot reattach counter {spec.name!r} with a different spec"
+                )
+            existing.timestamps.clear()
+            existing.values.clear()
+            existing.pending = 0
+            existing.dropped = 0
+            existing.pending_high_water = 0
+            return
         self._streams[spec.name] = _Stream(spec=spec)
 
     def record(self, name: str, timestamp_ns: int, value: int | tuple[int, ...]) -> None:
@@ -115,12 +150,19 @@ class CollectorService:
         stream.timestamps.append(timestamp_ns)
         stream.values.append(value)
         stream.pending += 1
+        if stream.pending > stream.pending_high_water:
+            stream.pending_high_water = stream.pending
         if stream.pending >= self.batch_size:
             self._ship(stream)
 
     def _count_drop(self, stream: _Stream) -> None:
         stream.dropped += 1
+        stream.dropped_total += 1
         self.samples_dropped += 1
+        get_registry().counter(
+            "collector.samples_dropped",
+            "samples lost to bounded-queue overflow, lifetime",
+        ).inc()
 
     def _ship(self, stream: _Stream, force: bool = False) -> None:
         if (
@@ -129,13 +171,18 @@ class CollectorService:
             and self.ship_should_fail(stream.spec.name, self.batches_shipped)
         ):
             self.ship_failures += 1
+            get_registry().counter("collector.ship_failures").inc()
             return
         scalars = stream.pending
         value = stream.values[-1] if stream.values else 0
         width = len(value) if isinstance(value, tuple) else 1
-        self.bytes_shipped += scalars * width * _BYTES_PER_SCALAR
+        batch_bytes = scalars * width * _BYTES_PER_SCALAR
+        self.bytes_shipped += batch_bytes
         self.batches_shipped += 1
         stream.pending = 0
+        registry = get_registry()
+        registry.counter("collector.batches_shipped").inc()
+        registry.counter("collector.bytes_shipped").inc(batch_bytes)
 
     @property
     def counter_names(self) -> list[str]:
@@ -145,8 +192,16 @@ class CollectorService:
         return len(self._streams[name].timestamps)
 
     def dropped_count(self, name: str) -> int:
-        """Samples dropped from one counter's stream by the bounded queue."""
-        return self._streams[name].dropped
+        """Lifetime samples dropped from one counter's stream by the
+        bounded queue (survives :meth:`register` reattaches)."""
+        return self._streams[name].dropped_total
+
+    @property
+    def queue_depth_high_water(self) -> int:
+        """Highest pending-sample depth any stream has reached."""
+        if not self._streams:
+            return 0
+        return max(stream.pending_high_water for stream in self._streams.values())
 
     def finalize(self) -> dict[str, CounterTrace]:
         """Flush everything and return one trace per counter.
@@ -170,4 +225,8 @@ class CollectorService:
                 rate_bps=stream.spec.rate_bps,
                 meta=meta,
             )
+        get_registry().gauge(
+            "collector.queue_depth_high_water",
+            "highest pending-sample depth reached by any stream",
+        ).set_max(self.queue_depth_high_water)
         return traces

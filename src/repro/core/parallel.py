@@ -51,6 +51,8 @@ from repro.core.campaign import (
 from repro.core.samples import CounterTrace
 from repro.errors import CollectionError, ConfigError
 from repro.obs import get_logger
+from repro.telemetry.metrics import get_registry, scoped_registry
+from repro.telemetry.spans import span
 
 _log = get_logger("parallel")
 
@@ -113,20 +115,30 @@ def _collect_shard(
     retry: RetryPolicy | None,
     checkpoint_dir: str | None,
     resume: bool,
-) -> tuple[list[WindowOutcome], list[dict[str, CounterTrace]], dict[str, int] | None]:
+) -> tuple[
+    list[WindowOutcome], list[dict[str, CounterTrace]], dict[str, int] | None, dict
+]:
     """Run one shard as an ordinary resilient campaign (worker entry point).
 
     Module-level so it pickles; the ``backend`` argument arrives as a
     process-local copy in pool workers, which is exactly what keeps
     mutable backend state (retry attempt counters, fault tallies)
     shard-local and order-independent.
+
+    Telemetry runs inside :func:`~repro.telemetry.scoped_registry`, so
+    the returned snapshot holds exactly this shard's increments —
+    nothing inherited from a forked parent — and the caller merges
+    snapshots at join.  Serial (in-process) shards take the same path,
+    which is what makes serial and ``--workers N`` aggregates agree.
     """
     subplan = CampaignPlan(windows=windows)
     campaign = MeasurementCampaign(
         subplan, backend, retry=retry, checkpoint_dir=checkpoint_dir
     )
-    result = campaign.run(resume=resume)
-    return result.outcomes or [], result.traces, _source_fault_stats(backend)
+    with scoped_registry() as registry:
+        result = campaign.run(resume=resume)
+        snapshot = registry.snapshot()
+    return result.outcomes or [], result.traces, _source_fault_stats(backend), snapshot
 
 
 class ParallelCampaign:
@@ -235,27 +247,40 @@ class ParallelCampaign:
             len(self.plan.windows), len(self.shards), self.workers,
         )
         results: dict[int, tuple] = {}
-        if self.workers == 1 or len(self.shards) <= 1:
-            for shard in self.shards:
-                results[shard.shard_id] = _collect_shard(*self._shard_args(shard, resume))
-            # In-process shards share one source instance, so per-shard
-            # tallies are cumulative snapshots: keep only the final one.
-            self.fault_stats = _source_fault_stats(self.backend)
-        else:
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(self.shards))) as pool:
-                futures = {
-                    pool.submit(_collect_shard, *self._shard_args(shard, resume)): shard
-                    for shard in self.shards
-                }
-                for future in as_completed(futures):
-                    results[futures[future].shard_id] = future.result()
-            self._aggregate_fault_stats(results)
+        with span(
+            "parallel.run",
+            n_windows=len(self.plan.windows),
+            n_shards=len(self.shards),
+            workers=self.workers,
+        ):
+            if self.workers == 1 or len(self.shards) <= 1:
+                for shard in self.shards:
+                    results[shard.shard_id] = _collect_shard(
+                        *self._shard_args(shard, resume)
+                    )
+                # In-process shards share one source instance, so per-shard
+                # tallies are cumulative snapshots: keep only the final one.
+                self.fault_stats = _source_fault_stats(self.backend)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(self.shards))
+                ) as pool:
+                    futures = {
+                        pool.submit(
+                            _collect_shard, *self._shard_args(shard, resume)
+                        ): shard
+                        for shard in self.shards
+                    }
+                    for future in as_completed(futures):
+                        results[futures[future].shard_id] = future.result()
+                self._aggregate_fault_stats(results)
+            self._merge_telemetry(results)
         return self._merge(results)
 
     def _aggregate_fault_stats(self, results: dict[int, tuple]) -> None:
         totals: dict[str, int] = {}
         seen = False
-        for _, _, stats in results.values():
+        for _, _, stats, _ in results.values():
             if stats is None:
                 continue
             seen = True
@@ -263,12 +288,25 @@ class ParallelCampaign:
                 totals[key] = totals.get(key, 0) + value
         self.fault_stats = totals if seen else None
 
+    def _merge_telemetry(self, results: dict[int, tuple]) -> None:
+        """Fold every shard's telemetry snapshot into the ambient registry.
+
+        Merging is commutative, but shards fold in shard-id order anyway
+        so any future order-sensitive consumer sees a stable sequence.
+        """
+        registry = get_registry()
+        registry.counter("parallel.shards_completed", "campaign shards merged").inc(
+            len(results)
+        )
+        for shard_id in sorted(results):
+            registry.merge_snapshot(results[shard_id][3])
+
     def _merge(self, results: dict[int, tuple]) -> CampaignResult:
         n = len(self.plan.windows)
         outcomes: list[WindowOutcome | None] = [None] * n
         traces: list[dict[str, CounterTrace] | None] = [None] * n
         for shard in self.shards:
-            shard_outcomes, shard_traces, _ = results[shard.shard_id]
+            shard_outcomes, shard_traces, _, _ = results[shard.shard_id]
             for local, global_index in enumerate(shard.indices):
                 outcome = shard_outcomes[local]
                 outcomes[global_index] = WindowOutcome(

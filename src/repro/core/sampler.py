@@ -27,6 +27,7 @@ from repro.core.counters import CounterBinding, validate_group
 from repro.core.samples import CounterTrace
 from repro.errors import ConfigError, SamplingError
 from repro.netsim.engine import Simulator
+from repro.telemetry.metrics import get_registry
 from repro.units import us
 
 
@@ -77,6 +78,10 @@ class TimingStats:
     scheduled: int = 0
     taken: int = 0
     missed: int = 0
+    #: reads whose latency exceeded the interval (each such read covers
+    #: one or more missed instants — ``missed`` counts the instants,
+    #: ``overruns`` counts the slow reads themselves)
+    overruns: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -84,6 +89,21 @@ class TimingStats:
         if self.scheduled == 0:
             return 0.0
         return self.missed / self.scheduled
+
+    def publish(self) -> None:
+        """Mirror this run's tallies into the telemetry registry."""
+        registry = get_registry()
+        registry.counter(
+            "sampler.instants_scheduled", "sampling instants on the target grid"
+        ).inc(self.scheduled)
+        registry.counter("sampler.reads_taken", "counter reads issued").inc(self.taken)
+        registry.counter(
+            "sampler.instants_missed", "scheduled instants not met on time"
+        ).inc(self.missed)
+        registry.counter(
+            "sampler.read_overruns",
+            "reads whose latency overran the interval, covering instants",
+        ).inc(self.overruns)
 
 
 @dataclass(slots=True)
@@ -133,7 +153,10 @@ class HighResSampler:
             raise ConfigError("duration must be positive")
         collector = collector or CollectorService()
         for spec in self._specs:
-            collector.register(spec)
+            # reattach=True: a long-lived collector reused across windows
+            # gets fresh sample buffers while keeping its lifetime drop
+            # tally intact.
+            collector.register(spec, reattach=True)
         stats = TimingStats()
         interval = self.config.interval_ns
         n_instants = duration_ns // interval
@@ -166,6 +189,7 @@ class HighResSampler:
                 covered = overrun_covered_instants(latency, interval, n_instants - index)
                 stats.scheduled += covered
                 stats.missed += covered
+                stats.overruns += 1
                 next_index = index + -(-latency // interval)
 
             sim.schedule_at(tick_ns + latency, complete)
@@ -174,6 +198,7 @@ class HighResSampler:
 
         sim.schedule_at(start, poll, 0)
         sim.run_until(end)
+        stats.publish()
         return SamplerReport(
             traces=collector.finalize(),
             timing=stats,
@@ -225,5 +250,7 @@ class HighResSampler:
                 covered = overrun_covered_instants(latency, interval, n_ticks - tick)
                 stats.scheduled += covered
                 stats.missed += covered
+                stats.overruns += 1
                 tick += -(-latency // interval)
+        stats.publish()
         return stats

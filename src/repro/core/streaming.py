@@ -64,6 +64,37 @@ class StreamingBurstStats:
         if self._current_run:
             self._close_burst()
 
+    def merge(self, other: "StreamingBurstStats") -> None:
+        """Fold another window's *finalized* statistics into this one.
+
+        This is the shard-join operation: per-window stats collected by
+        independent shards combine into campaign totals (buckets,
+        sample/burst counts, and transition counts all sum).  The windows
+        are treated as independent streams — no transition is synthesised
+        across the seam, and a burst touching a window edge counts with
+        the length observed inside its own window, which is exactly how
+        separate measurement windows already behave.  Both sides must be
+        finalized (no open run) so no burst is silently dropped.
+        """
+        if self.interval_ns != other.interval_ns or self.threshold != other.threshold:
+            raise AnalysisError(
+                "cannot merge burst stats with different interval/threshold "
+                f"({self.interval_ns}ns/{self.threshold} vs "
+                f"{other.interval_ns}ns/{other.threshold})"
+            )
+        if len(self.duration_buckets) != len(other.duration_buckets):
+            raise AnalysisError("cannot merge burst stats with different bucket counts")
+        if self._current_run or other._current_run:
+            raise AnalysisError("finalize() both stats before merging")
+        for bucket, count in enumerate(other.duration_buckets):
+            self.duration_buckets[bucket] += count
+        self.n_samples += other.n_samples
+        self.n_hot += other.n_hot
+        self.n_bursts += other.n_bursts
+        for row in range(2):
+            for col in range(2):
+                self.transitions[row][col] += other.transitions[row][col]
+
     # -- derived statistics -----------------------------------------------------
 
     @property

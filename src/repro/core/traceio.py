@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.samples import CounterTrace, ValueKind
 from repro.errors import CorruptTraceError, DataFormatError
+from repro.telemetry.metrics import get_registry
 
 _FORMAT_KEY = "__repro_trace_archive__"
 _FORMAT_VERSION = 2
@@ -70,9 +71,15 @@ def save_traces(path: str | Path, traces: dict[str, CounterTrace]) -> None:
     tmp = path.with_name(path.name + f".tmp-{os.getpid()}.npz")
     try:
         np.savez_compressed(tmp, **payload)
+        size = tmp.stat().st_size
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+    registry = get_registry()
+    registry.counter("traceio.archives_written", "trace archives persisted").inc()
+    registry.counter(
+        "traceio.bytes_written", "compressed bytes written to trace archives"
+    ).inc(size)
 
 
 def _verify(prefix: str, archive, trace: CounterTrace, path: Path) -> None:
@@ -86,7 +93,13 @@ def _verify(prefix: str, archive, trace: CounterTrace, path: Path) -> None:
             f"{n_samples} — truncated or corrupted archive"
         )
     if _crc(trace.timestamps_ns) != ts_crc or _crc(trace.values) != val_crc:
+        get_registry().counter(
+            "traceio.crc_failures", "trace loads rejected on CRC mismatch"
+        ).inc()
         raise CorruptTraceError(f"{path}: CRC mismatch in trace {trace.name!r}")
+    get_registry().counter(
+        "traceio.crc_verified", "per-trace CRC integrity checks passed"
+    ).inc()
 
 
 def load_traces(path: str | Path) -> dict[str, CounterTrace]:

@@ -49,6 +49,12 @@ class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry metric, span, or snapshot was misused (name registered
+    under two different types, mismatched histogram buckets on merge,
+    malformed snapshot, ...)."""
+
+
 class DataFormatError(ReproError):
     """A distribution data file does not match the expected schema."""
 

@@ -18,6 +18,7 @@ from repro.core.samples import CounterTrace, ValueKind
 from repro.core.seeding import site_rng
 from repro.errors import FaultInjectionError
 from repro.faults.plan import FaultPlan
+from repro.telemetry.metrics import get_registry
 
 #: Meta key carrying the wrap width of a raw (possibly wrapped) counter.
 COUNTER_BITS_META = "counter_bits"
@@ -56,6 +57,12 @@ class FaultInjector:
         self.plan = plan
         self.stats = FaultStats()
 
+    def _tally(self, kind: str, amount: int = 1) -> None:
+        """Bump one :class:`FaultStats` field and its mirror counter
+        ``faults.<kind>`` in the telemetry registry."""
+        setattr(self.stats, kind, getattr(self.stats, kind) + amount)
+        get_registry().counter(f"faults.{kind}", "fault injections by kind").inc(amount)
+
     # -- keyed randomness --------------------------------------------------------
 
     def rng_for(self, site: str) -> np.random.Generator:
@@ -80,11 +87,11 @@ class FaultInjector:
             return False
         transient = rng.random() < self.plan.transient_fraction
         if attempt == 0:
-            self.stats.window_faults += 1
+            self._tally("window_faults")
             if transient:
-                self.stats.transient_faults += 1
+                self._tally("transient_faults")
             else:
-                self.stats.persistent_faults += 1
+                self._tally("persistent_faults")
         return True if not transient else attempt == 0
 
     # -- read-level faults -------------------------------------------------------
@@ -96,7 +103,7 @@ class FaultInjector:
         if self.plan.read_failure_rate == 0.0 or n_reads == 0:
             return np.zeros(n_reads, dtype=bool)
         mask = self.rng_for(f"reads|{site}").random(n_reads) < self.plan.read_failure_rate
-        self.stats.reads_failed += int(mask.sum())
+        self._tally("reads_failed", int(mask.sum()))
         return mask
 
     def latency_spikes_ns(self, site: str, n_reads: int) -> np.ndarray:
@@ -108,7 +115,7 @@ class FaultInjector:
             return extra
         hit = self.rng_for(f"spikes|{site}").random(n_reads) < self.plan.latency_spike_rate
         extra[hit] = self.plan.latency_spike_ns
-        self.stats.latency_spikes += int(hit.sum())
+        self._tally("latency_spikes", int(hit.sum()))
         return extra
 
     # -- trace-level faults ------------------------------------------------------
@@ -127,7 +134,7 @@ class FaultInjector:
         wrapped = np.mod(values, modulus)
         meta = dict(trace.meta)
         meta[COUNTER_BITS_META] = bits
-        self.stats.traces_wrapped += 1
+        self._tally("traces_wrapped")
         return CounterTrace(
             timestamps_ns=trace.timestamps_ns,
             values=wrapped,
@@ -154,7 +161,7 @@ class FaultInjector:
         dropped = int((~keep).sum())
         if dropped == 0:
             return trace
-        self.stats.samples_dropped += dropped
+        self._tally("samples_dropped", dropped)
         meta = dict(trace.meta)
         meta["samples_dropped"] = meta.get("samples_dropped", 0) + dropped
         return CounterTrace(
@@ -187,7 +194,7 @@ class FaultInjector:
             return False
         cut = int(rng.integers(1, len(data)))
         path.write_bytes(data[:cut])
-        self.stats.archives_truncated += 1
+        self._tally("archives_truncated")
         return True
 
 

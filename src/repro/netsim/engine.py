@@ -66,8 +66,11 @@ class Simulator:
         queue._next_seq = seq + 1
         event = Event(time_ns, seq, action, args)
         event._queue = queue
-        heappush(queue._heap, (time_ns, seq, event))
+        heap = queue._heap
+        heappush(heap, (time_ns, seq, event))
         queue._live += 1
+        if len(heap) > queue._peak_heap:
+            queue._peak_heap = len(heap)
         return event
 
     def schedule_at(self, time_ns: int, action: Callable[..., None], *args) -> Event:
@@ -83,8 +86,11 @@ class Simulator:
         queue._next_seq = seq + 1
         event = Event(time_ns, seq, action, args)
         event._queue = queue
-        heappush(queue._heap, (time_ns, seq, event))
+        heap = queue._heap
+        heappush(heap, (time_ns, seq, event))
         queue._live += 1
+        if len(heap) > queue._peak_heap:
+            queue._peak_heap = len(heap)
         return event
 
     def spawn_rng(self) -> np.random.Generator:

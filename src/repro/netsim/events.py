@@ -72,6 +72,7 @@ class EventQueue:
         self._next_seq = 0
         self._live = 0
         self._cancelled = 0
+        self._peak_heap = 0
 
     def __len__(self) -> int:
         return self._live
@@ -83,6 +84,13 @@ class EventQueue:
     def heap_size(self) -> int:
         """Physical entries held, live and cancelled (introspection)."""
         return len(self._heap)
+
+    @property
+    def peak_heap_size(self) -> int:
+        """High-water mark of physical heap entries over the queue's
+        lifetime (compaction shrinks the heap but never the peak) —
+        the telemetry layer's memory-cost gauge for the engine."""
+        return self._peak_heap
 
     def push(self, time_ns: int, action: Action, args: tuple = ()) -> Event:
         """Schedule ``action(*args)`` at absolute time ``time_ns``.
@@ -100,6 +108,8 @@ class EventQueue:
         event._queue = self
         heappush(self._heap, (time_ns, seq, event))
         self._live += 1
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
         return event
 
     def pop(self) -> Event:

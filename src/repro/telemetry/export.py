@@ -1,0 +1,143 @@
+"""Metric exporters: Prometheus text exposition and JSON snapshots.
+
+Both formats carry a build-info header (package version + git describe)
+so any scraped or archived metrics can be traced back to the exact tree
+that produced them — the telemetry analogue of the golden-CRC
+discipline on traces.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from functools import lru_cache
+from pathlib import Path
+
+from repro.telemetry.metrics import MetricsRegistry, NullRegistry, get_registry
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's
+    ``repro.__version__`` when not pip-installed."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        # Not installed (PYTHONPATH=src usage) — read the source tree.
+        pass
+    try:
+        import repro
+
+        return repro.__version__
+    except Exception:  # pragma: no cover - defensive
+        return "unknown"
+
+
+@lru_cache(maxsize=1)
+def git_describe() -> str:
+    """``git describe`` of the source checkout, or ``"unknown"`` outside
+    a git tree (e.g. an installed wheel).  Cached: one subprocess per
+    process at most."""
+    root = Path(__file__).resolve().parents[3]
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--tags", "--always", "--dirty"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if result.returncode != 0:
+        return "unknown"
+    return result.stdout.strip() or "unknown"
+
+
+def build_info() -> dict:
+    """The header stamped into every metrics/trace export."""
+    return {"repro_version": package_version(), "git_describe": git_describe()}
+
+
+def _prometheus_name(name: str) -> str:
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{sanitized}"
+
+
+def to_prometheus(registry: MetricsRegistry | NullRegistry | None = None) -> str:
+    """Prometheus text exposition (version 0.0.4) of a registry snapshot.
+
+    Counters export with a ``_total`` suffix, gauges as-is, histograms
+    with cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``
+    — the shapes promtool and a scraping Prometheus expect.
+    """
+    snapshot = (registry or get_registry()).snapshot()
+    info = build_info()
+    lines = [
+        f"# repro telemetry — version {info['repro_version']}, "
+        f"git {info['git_describe']}"
+    ]
+    for name, value in snapshot["counters"].items():
+        metric = _prometheus_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot["gauges"].items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, record in snapshot["histograms"].items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(record["bounds"], record["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += record["inf_count"]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {record['sum']}")
+        lines.append(f"{metric}_count {record['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_with_header(
+    registry: MetricsRegistry | NullRegistry | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """A registry snapshot wrapped with the build-info header."""
+    payload = {
+        "header": {
+            **build_info(),
+            "created_unix_s": round(time.time(), 3),
+        },
+        **(registry or get_registry()).snapshot(),
+    }
+    if extra:
+        payload["header"].update(extra)
+    return payload
+
+
+def write_metrics_json(
+    path: str | Path,
+    registry: MetricsRegistry | NullRegistry | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Write the JSON snapshot (with header) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(snapshot_with_header(registry, extra), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def write_metrics_prometheus(
+    path: str | Path, registry: MetricsRegistry | NullRegistry | None = None
+) -> Path:
+    """Write the Prometheus text exposition to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(registry))
+    return path

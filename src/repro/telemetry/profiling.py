@@ -1,0 +1,96 @@
+"""Lightweight per-stage profiling hooks.
+
+Sec 4.1 reports the framework's own CPU cost alongside its precision;
+these hooks give the pipeline the same self-accounting: wrap a stage in
+:func:`profile_stage` and its CPU time (user+system, via ``resource``),
+wall time, and peak RSS land in the metrics registry as gauges —
+``profile.<stage>.cpu_ns`` / ``.wall_ns`` / ``.peak_rss_bytes`` — plus
+``.py_heap_peak_bytes`` when tracemalloc profiling is requested.
+
+Profiling is opt-in (``set_profiling(True)``, the CLI's ``--profile``,
+or ``REPRO_PROFILE=1``): when off, :func:`profile_stage` yields
+immediately and touches neither ``resource`` nor the clock.  tracemalloc
+is a further opt-in on top because its allocation hooks slow Python by
+an order of magnitude — exactly the precision/cost trade the paper makes
+explicit.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.metrics import get_registry
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+_PROFILING = os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+def profiling_enabled() -> bool:
+    return _PROFILING
+
+
+def set_profiling(flag: bool) -> None:
+    global _PROFILING
+    _PROFILING = bool(flag)
+
+
+def _cpu_ns() -> int:
+    if resource is None:  # pragma: no cover - non-POSIX fallback
+        return time.process_time_ns()
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return int((usage.ru_utime + usage.ru_stime) * 1e9)
+
+
+def _peak_rss_bytes() -> int:
+    if resource is None:  # pragma: no cover - non-POSIX fallback
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+@contextmanager
+def profile_stage(stage: str, trace_malloc: bool = False) -> Iterator[None]:
+    """Record one stage's CPU/wall/RSS cost into the metrics registry.
+
+    ``trace_malloc=True`` additionally snapshots the Python heap's
+    traced peak via :mod:`tracemalloc` (started/stopped around the stage
+    when not already running).
+    """
+    if not _PROFILING:
+        yield
+        return
+    registry = get_registry()
+    started_tracemalloc = False
+    tracemalloc = None
+    if trace_malloc:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            started_tracemalloc = True
+        else:
+            tracemalloc.reset_peak()
+    cpu_before = _cpu_ns()
+    wall_before = time.monotonic_ns()
+    try:
+        yield
+    finally:
+        registry.gauge(f"profile.{stage}.wall_ns").set_max(
+            time.monotonic_ns() - wall_before
+        )
+        registry.gauge(f"profile.{stage}.cpu_ns").set_max(_cpu_ns() - cpu_before)
+        registry.gauge(f"profile.{stage}.peak_rss_bytes").set_max(_peak_rss_bytes())
+        if trace_malloc and tracemalloc is not None:
+            _current, peak = tracemalloc.get_traced_memory()
+            registry.gauge(f"profile.{stage}.py_heap_peak_bytes").set_max(peak)
+            if started_tracemalloc:
+                tracemalloc.stop()

@@ -80,6 +80,27 @@ class TestEscalation:
         _report, stats = sampler.run_in_sim(sim, ms(20))
         assert stats.duty_cycle(sampler.config) < 0.5
 
+    def test_hold_expiry_returns_to_slow_cadence(self):
+        """Once the burst ends and hold_ns passes without a hot sample,
+        the poll cadence must drop back to the slow interval."""
+        sim = Simulator(seed=1)
+        counter = FakeCounter(sim)
+        counter.add_burst(ms(1), ms(2))
+        sampler = make_sampler(sim, counter, hold_ns=us(200))
+        report, _stats = sampler.run_in_sim(sim, ms(10))
+        trace = report.traces["p.tx_bytes"]
+        # one slow interval of slack past burst-end + hold for the
+        # expiry to be observed at a poll boundary
+        settle_ns = ms(2) + us(200) + sampler.config.slow_interval_ns
+        tail = trace.timestamps_ns[trace.timestamps_ns > settle_ns]
+        gaps = np.diff(tail)
+        assert len(gaps) > 10
+        # every tail gap is at the slow cadence, none at the fast one
+        assert np.min(gaps) > sampler.config.fast_interval_ns * 2
+        assert np.median(gaps) == pytest.approx(
+            sampler.config.slow_interval_ns, rel=0.25
+        )
+
     def test_burst_interior_captured_at_fast_interval(self):
         sim = Simulator(seed=1)
         counter = FakeCounter(sim)

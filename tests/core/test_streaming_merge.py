@@ -1,0 +1,122 @@
+"""StreamingBurstStats merge and edge cases (zero-length runs,
+single-sample bursts, window-seam semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingBurstStats
+from repro.errors import AnalysisError
+from repro.units import us
+
+
+def fed(values, interval_ns=us(25), finalize=True) -> StreamingBurstStats:
+    stats = StreamingBurstStats(interval_ns=interval_ns)
+    stats.update_many(np.asarray(values, dtype=float))
+    if finalize:
+        stats.finalize()
+    return stats
+
+
+class TestEdgeCases:
+    def test_zero_length_run(self):
+        stats = fed([])
+        assert stats.n_samples == 0
+        assert stats.n_bursts == 0
+        assert stats.hot_fraction == 0.0
+        with pytest.raises(AnalysisError):
+            stats.duration_quantile_ns(0.9)
+
+    def test_all_cold_has_no_bursts(self):
+        stats = fed([0.0] * 10)
+        assert stats.n_bursts == 0
+        assert stats.transitions[0][0] == 9
+
+    def test_single_sample_burst(self):
+        stats = fed([0.0, 1.0, 0.0])
+        assert stats.n_bursts == 1
+        # a length-1 burst lands in the first log2 bucket
+        assert stats.duration_buckets[0] == 1
+        assert stats.duration_quantile_ns(1.0) == us(25)
+
+    def test_burst_open_at_window_end_closed_by_finalize(self):
+        stats = fed([0.0, 1.0, 1.0], finalize=False)
+        assert stats.n_bursts == 0
+        stats.finalize()
+        assert stats.n_bursts == 1
+        assert stats.duration_buckets[1] == 1  # length 2 -> bucket [2, 4)
+
+    def test_finalize_idempotent(self):
+        stats = fed([1.0])
+        stats.finalize()
+        assert stats.n_bursts == 1
+
+
+class TestMerge:
+    def test_merge_sums_everything(self):
+        a = fed([0.0, 1.0, 1.0, 0.0])
+        b = fed([1.0, 0.0, 1.0, 1.0, 1.0])
+        merged_samples = a.n_samples + b.n_samples
+        merged_bursts = a.n_bursts + b.n_bursts
+        a.merge(b)
+        assert a.n_samples == merged_samples
+        assert a.n_hot == 6  # 2 hot samples in a, 4 in b
+        assert a.n_bursts == merged_bursts
+
+    def test_merge_equals_whole_stream_at_cold_seam(self):
+        """Splitting a stream at a cold/cold boundary loses exactly the
+        one seam transition and nothing else."""
+        whole_values = [0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0]
+        split = 4  # both sides of the seam are cold
+        whole = fed(whole_values)
+        left = fed(whole_values[:split])
+        right = fed(whole_values[split:])
+        left.merge(right)
+        assert left.n_samples == whole.n_samples
+        assert left.n_hot == whole.n_hot
+        assert left.n_bursts == whole.n_bursts
+        assert left.duration_buckets == whole.duration_buckets
+        seam = np.subtract(whole.transitions, left.transitions)
+        assert seam.sum() == 1
+        assert seam[0][0] == 1  # the lost transition was cold -> cold
+        assert left.duration_quantile_ns(0.9) == whole.duration_quantile_ns(0.9)
+
+    def test_merge_transition_matrix_usable(self):
+        a = fed([0.0, 1.0, 0.0] * 20)
+        b = fed([0.0, 0.0, 1.0] * 20)
+        a.merge(b)
+        matrix = a.transition_matrix()
+        assert 0.0 <= matrix.p01 <= 1.0
+        assert 0.0 <= matrix.p11 <= 1.0
+
+    def test_merge_into_fresh_accumulator(self):
+        total = StreamingBurstStats(interval_ns=us(25))
+        for chunk in ([1.0, 1.0, 0.0], [0.0, 1.0, 0.0], []):
+            total.merge(fed(chunk))
+        assert total.n_samples == 6
+        assert total.n_bursts == 2
+
+    def test_mismatched_interval_rejected(self):
+        a = fed([1.0], interval_ns=us(25))
+        b = fed([1.0], interval_ns=us(50))
+        with pytest.raises(AnalysisError):
+            a.merge(b)
+
+    def test_mismatched_threshold_rejected(self):
+        a = StreamingBurstStats(interval_ns=us(25), threshold=0.5)
+        b = StreamingBurstStats(interval_ns=us(25), threshold=0.7)
+        with pytest.raises(AnalysisError):
+            a.merge(b)
+
+    def test_mismatched_bucket_count_rejected(self):
+        a = StreamingBurstStats(interval_ns=us(25))
+        b = StreamingBurstStats(interval_ns=us(25), duration_buckets=[0] * 8)
+        with pytest.raises(AnalysisError):
+            a.merge(b)
+
+    def test_unfinalized_sides_rejected(self):
+        open_run = fed([1.0, 1.0], finalize=False)
+        closed = fed([0.0])
+        with pytest.raises(AnalysisError):
+            closed.merge(open_run)
+        with pytest.raises(AnalysisError):
+            open_run.merge(closed)

@@ -1,0 +1,12 @@
+"""Telemetry test fixtures: every test runs against its own registry."""
+
+import pytest
+
+from repro.telemetry.metrics import scoped_registry
+
+
+@pytest.fixture(autouse=True)
+def registry():
+    """Fresh ambient registry per test; the previous one is restored."""
+    with scoped_registry() as reg:
+        yield reg

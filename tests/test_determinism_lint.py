@@ -1,0 +1,106 @@
+"""Determinism lint: no wall clocks inside the simulation packages.
+
+The telemetry contract (DESIGN.md §9) is that telemetry may *read* wall
+clocks but never feeds simulation state.  The cheapest way to hold that
+line structurally is to ban wall-clock calls outright under
+``src/repro/netsim/`` and ``src/repro/synth/`` — simulated time there
+comes from the event engine's clock, and anything wall-clock-derived
+would make traces depend on host speed.  Timing instrumentation for
+these layers lives one level up, on the backend boundary
+(``repro.backends.base.timed_window``), which this lint deliberately
+does not cover.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+LINTED_PACKAGES = ("netsim", "synth")
+
+#: ``time.<attr>()`` calls that read a host clock.
+BANNED_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+#: ``datetime.<attr>()`` / ``date.<attr>()`` constructors that read one.
+BANNED_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _violations_in_source(source: str, filename: str) -> list[str]:
+    found: list[str] = []
+    tree = ast.parse(source, filename=filename)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in BANNED_TIME_ATTRS:
+                        found.append(
+                            f"{filename}:{node.lineno}: "
+                            f"from time import {alias.name}"
+                        )
+            continue
+        if not isinstance(node, ast.Attribute):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Name):
+            continue
+        if value.id == "time" and node.attr in BANNED_TIME_ATTRS:
+            found.append(f"{filename}:{node.lineno}: time.{node.attr}")
+        if value.id in ("datetime", "date") and node.attr in BANNED_DATETIME_ATTRS:
+            found.append(f"{filename}:{node.lineno}: {value.id}.{node.attr}")
+    return found
+
+
+def _violations_in_tree() -> list[str]:
+    found: list[str] = []
+    for package in LINTED_PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            relative = str(path.relative_to(SRC.parent.parent))
+            found.extend(_violations_in_source(path.read_text(), relative))
+    return found
+
+
+def test_no_wall_clock_in_simulation_packages():
+    violations = _violations_in_tree()
+    assert not violations, (
+        "wall-clock calls are banned under src/repro/netsim and "
+        "src/repro/synth (simulated time comes from the engine clock; "
+        "telemetry timing belongs on the backend boundary):\n"
+        + "\n".join(violations)
+    )
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import time\nx = time.time()",
+        "import time\nx = time.monotonic_ns()",
+        "from time import monotonic",
+        "from datetime import datetime\nx = datetime.now()",
+        "import datetime as dt\n\ndef f(datetime):\n    return datetime.utcnow()",
+    ],
+)
+def test_lint_catches_known_bad_patterns(snippet):
+    assert _violations_in_source(snippet, "fake.py")
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import time\nx = time.sleep",  # not a clock read
+        "clock.now",  # the engine's own clock is fine
+        "from time import sleep",
+    ],
+)
+def test_lint_allows_benign_patterns(snippet):
+    assert not _violations_in_source(snippet, "fake.py")
